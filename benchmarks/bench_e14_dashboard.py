@@ -1,0 +1,73 @@
+"""E14 -- §5.1: BirdBrain summary statistics.
+
+Paper claim: "Due to their compact size, statistics about sessions are
+easy to compute from the session sequences. A series of daily jobs
+generate summary statistics, which feed into our analytical dashboard
+called BirdBrain. The dashboard displays the number of user sessions
+daily and plotted as a function of time ... drill down by client type
+... and by (bucketed) session duration."
+
+Measured: a week-long sessions-over-time series from seven generated
+days, the client-type drill-down, the duration histogram, and the cost of
+the daily summary job against the sequence store.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analytics.dashboard import BirdBrain, summarize_day
+from repro.core.builder import SessionSequenceBuilder
+from repro.hdfs.namenode import HDFS
+from repro.workload.generator import WorkloadGenerator, load_warehouse_day
+
+
+@pytest.fixture(scope="module")
+def week_board():
+    """Seven days of growing traffic summarized onto one dashboard."""
+    board = BirdBrain()
+    for day in range(1, 8):
+        generator = WorkloadGenerator(num_users=120 + 40 * day,
+                                      seed=500 + day)
+        workload = generator.generate_day(2012, 6, day)
+        fs = HDFS()
+        load_warehouse_day(fs, workload)
+        builder = SessionSequenceBuilder(fs)
+        builder.run(2012, 6, day)
+        dictionary = builder.load_dictionary(2012, 6, day)
+        records = list(builder.iter_sequences(2012, 6, day))
+        board.add_day(summarize_day((2012, 6, day), records, dictionary))
+    return board
+
+
+def test_sessions_over_time(benchmark, week_board):
+    series = benchmark(week_board.sessions_over_time)
+    report("E14 daily sessions over one week",
+           [(f"2012-06-{d:02d}", count) for (__, __, d), count in series])
+    assert len(series) == 7
+    # growing user base shows as service growth on the headline plot
+    assert series[-1][1] > series[0][1]
+    assert week_board.growth_rate() > 0.5
+
+
+def test_client_drilldown(benchmark, week_board):
+    date = week_board.dates()[-1]
+    by_client = benchmark(lambda: week_board.sessions_by_client(date))
+    report("E14 drill-down by client type", sorted(by_client.items()))
+    assert set(by_client) <= {"web", "iphone", "android", "ipad"}
+    assert by_client["web"] == max(by_client.values())
+
+
+def test_duration_drilldown(benchmark, week_board):
+    date = week_board.dates()[-1]
+    histogram = benchmark(lambda: week_board.duration_histogram(date))
+    report("E14 drill-down by bucketed session duration",
+           sorted(histogram.items()))
+    assert sum(histogram.values()) == week_board.day(date).sessions
+    assert len(histogram) >= 3
+
+
+def test_daily_summary_cost(benchmark, date, dictionary, sequence_records):
+    """The summary job itself: linear in the compact store."""
+    summary = benchmark(
+        lambda: summarize_day(date, sequence_records, dictionary))
+    assert summary.sessions == len(sequence_records)

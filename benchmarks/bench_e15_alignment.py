@@ -1,0 +1,84 @@
+"""E15 -- §6: query-by-example via sequence alignment.
+
+Paper claim: "we can take inspiration from biological sequence alignment
+to answer questions like: 'What users exhibit similar behavioral
+patterns?' This type of 'query-by-example' mechanism would help in
+understanding what makes Twitter users engaged."
+
+Measured: Smith-Waterman query-by-example over one day of sessions --
+the top hits for a signup-flow probe are other signup sessions (behaviour
+clusters by alignment), plus alignment throughput.
+"""
+
+import re
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.nlp.alignment import query_by_example, similarity
+
+
+@pytest.fixture(scope="module")
+def signup_probe(dictionary, sequence_records):
+    """The session most dominated by signup-funnel activity."""
+    pattern = re.compile(dictionary.symbol_class("*:signup:*:*:*:*"))
+    candidates = [(len(pattern.findall(r.session_sequence)), r)
+                  for r in sequence_records]
+    depth, probe = max(candidates,
+                       key=lambda pair: (pair[0],
+                                         -pair[1].num_events))
+    assert depth >= 4, "workload must include deep signup sessions"
+    return probe
+
+
+def test_query_by_example_finds_similar_behaviour(benchmark, dictionary,
+                                                  sequence_records,
+                                                  signup_probe):
+    """Top alignment hits for a signup probe are enriched in signup
+    activity relative to the population -- behaviour clusters by
+    alignment score."""
+    hits = benchmark.pedantic(
+        lambda: query_by_example(signup_probe, sequence_records, top_n=10),
+        rounds=1, iterations=1)
+    signup_symbols = re.compile(dictionary.symbol_class("*:signup:*:*:*:*"))
+
+    def signup_fraction(records):
+        symbols = sum(r.num_events for r in records)
+        matches = sum(len(signup_symbols.findall(r.session_sequence))
+                      for r in records)
+        return matches / max(symbols, 1)
+
+    top5 = [hit.record for hit in hits[:5]]
+    enrichment = signup_fraction(top5) / max(
+        signup_fraction(sequence_records), 1e-9)
+    report("E15 query-by-example (probe: deep signup session)", [
+        ("probe events", signup_probe.num_events),
+        ("hits returned", len(hits)),
+        ("top-5 signup-symbol fraction", round(signup_fraction(top5), 3)),
+        ("population fraction",
+         round(signup_fraction(sequence_records), 3)),
+        ("enrichment", round(enrichment, 1)),
+        ("best score", hits[0].score),
+    ])
+    assert enrichment > 3.0  # behaviour clusters by alignment
+    assert hits[0].score > 0
+
+
+def test_alignment_scores_ranked(benchmark, sequence_records):
+    probe = max(sequence_records, key=lambda r: r.num_events)
+    hits = benchmark.pedantic(
+        lambda: query_by_example(probe, sequence_records[:400], top_n=20),
+        rounds=1, iterations=1)
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_pairwise_similarity_throughput(benchmark, sequence_records):
+    pairs = [(a.session_sequence, b.session_sequence)
+             for a, b in zip(sequence_records[:60], sequence_records[60:120])]
+
+    def align_all():
+        return [similarity(a, b) for a, b in pairs]
+
+    scores = benchmark(align_all)
+    assert all(0 <= s <= 1.0 + 1e-9 for s in scores)

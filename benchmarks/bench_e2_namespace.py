@@ -1,0 +1,95 @@
+"""E2 -- Table 1: the six-level hierarchical event namespace.
+
+Paper claims (§3.2): event names are generated automatically from the
+client view hierarchy (and reverse-mapped from names back to the view);
+the namespace supports slice-and-dice with simple patterns
+(``web:home:mentions:*``, ``*:profile_click``); consistent design
+language means the same analysis ports across clients.
+
+Measured: generation/reverse-mapping correctness over the full standard
+hierarchy for all four clients, pattern slice-and-dice counts, and the
+throughput of name parsing and pattern matching.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.names import EventName, EventPattern
+from repro.workload.behavior import standard_hierarchy
+from repro.workload.population import CLIENTS
+
+
+def test_generation_and_reverse_mapping(benchmark):
+    def roundtrip():
+        total = 0
+        for client, __ in CLIENTS:
+            hierarchy = standard_hierarchy(client)
+            for name in hierarchy.all_event_names():
+                node = hierarchy.locate(name)
+                assert name.action in node.actions or not node.actions
+                total += 1
+        return total
+
+    total = benchmark(roundtrip)
+    report("E2 namespace coverage", [
+        ("clients", len(CLIENTS)),
+        ("event names generated+reverse-mapped", total),
+    ])
+    assert total > 100
+
+
+def test_slice_and_dice_patterns(benchmark, dictionary):
+    patterns = {
+        "web:home:*": None,             # the paper's prefix example
+        "*:profile_click": None,         # the paper's suffix example
+        "*:impression": None,
+        "iphone:*": None,
+    }
+
+    def run():
+        return {p: len(dictionary.expand_pattern(p)) for p in patterns}
+
+    counts = benchmark(run)
+    report("E2 pattern slice-and-dice (matching event types)",
+           sorted(counts.items()))
+    assert counts["web:home:*"] > 0
+    assert counts["*:profile_click"] >= 2  # several clients emit it
+    assert counts["*:impression"] > counts["web:home:*"] / 10
+
+
+def test_cross_client_portability(benchmark):
+    """A Pig script written for one client ports to another: the event
+    suffixes (everything after the client) are identical across clients."""
+
+    def suffixes():
+        by_client = {}
+        for client, __ in CLIENTS:
+            hierarchy = standard_hierarchy(client)
+            by_client[client] = {
+                str(name).split(":", 1)[1]
+                for name in hierarchy.all_event_names()
+            }
+        return by_client
+
+    by_client = benchmark(suffixes)
+    web = by_client["web"]
+    overlaps = {client: len(web & names) / len(web)
+                for client, names in by_client.items()}
+    report("E2 cross-client namespace overlap vs web", sorted(overlaps.items()))
+    assert all(v == 1.0 for v in overlaps.values())
+
+
+def test_parse_and_match_throughput(benchmark, dictionary):
+    names = list(dictionary)
+    pattern = EventPattern("*:profile_click")
+
+    def work():
+        hits = 0
+        for name in names:
+            parsed = EventName.parse(name)
+            if pattern.matches(parsed):
+                hits += 1
+        return hits
+
+    hits = benchmark(work)
+    assert hits > 0

@@ -1,0 +1,74 @@
+"""E3 -- Table 2: the unified client event message format.
+
+Paper claims (§3): Thrift provides "compact encoding of structured data"
+and extensibility ("messages can be augmented with additional fields in a
+completely transparent way"); the unified format replaces ad hoc JSON.
+
+Measured: serialized size of a client event under compact Thrift, binary
+Thrift, and the legacy JSON frontend format; schema-evolution round-trips
+at full speed; encode/decode throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.event import ClientEvent, ClientEventV1
+from repro.legacy.formats import WebJsonLogger
+
+
+def _sample_events(workload, n=500):
+    return workload.events[:n]
+
+
+def test_message_size_comparison(benchmark, workload):
+    events = _sample_events(workload)
+    json_logger = WebJsonLogger()
+
+    def sizes():
+        compact = sum(len(e.to_bytes("compact")) for e in events)
+        binary = sum(len(e.to_bytes("binary")) for e in events)
+        json_bytes = sum(len(json_logger.encode(e).message) for e in events)
+        return compact, binary, json_bytes
+
+    compact, binary, json_bytes = benchmark(sizes)
+    n = len(events)
+    report("E3 mean message size (bytes)", [
+        ("thrift compact", compact // n),
+        ("thrift binary", binary // n),
+        ("legacy JSON", json_bytes // n),
+    ])
+    assert compact < binary < json_bytes
+
+
+def test_schema_evolution_roundtrip(benchmark, workload):
+    """V2 messages read by V1 readers and vice versa, en masse."""
+    events = _sample_events(workload)
+    old_messages = [
+        ClientEventV1(**{s.name: getattr(e, s.name)
+                         for s in ClientEventV1.FIELDS}).to_bytes()
+        for e in events
+    ]
+    new_messages = [e.to_bytes() for e in events]
+
+    def evolve():
+        forward = [ClientEventV1.from_bytes(m) for m in new_messages]
+        backward = [ClientEvent.from_bytes(m) for m in old_messages]
+        return forward, backward
+
+    forward, backward = benchmark(evolve)
+    assert all(f.user_id == e.user_id for f, e in zip(forward, events))
+    assert all(b.country is None for b in backward)
+    report("E3 schema evolution", [
+        ("new->old messages read", len(forward)),
+        ("old->new messages read", len(backward)),
+    ])
+
+
+def test_encode_decode_throughput(benchmark, workload):
+    events = _sample_events(workload)
+
+    def roundtrip():
+        return [ClientEvent.from_bytes(e.to_bytes()) for e in events]
+
+    decoded = benchmark(roundtrip)
+    assert decoded == events

@@ -1,0 +1,67 @@
+"""E4 -- §3.2: the five automatic rollup aggregation schemas.
+
+Paper claim: "Oink jobs automatically aggregate counts of events
+according to the following schemas ... These counts are presented as
+top-level metrics in our internal dashboard, further broken down by
+country and logged in/logged out status. Thus, without any additional
+intervention from the application developer, rudimentary statistics are
+computed and made available on a daily basis."
+
+Measured: one-pass computation of all five tables, internal consistency
+between levels, and per-country / per-status breakdown shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.oink.rollups import ROLLUP_LEVELS, RollupJob
+
+
+@pytest.fixture(scope="module")
+def rollups(warehouse, date):
+    return RollupJob(warehouse).run(*date, materialize=False)
+
+
+def test_rollup_job(benchmark, warehouse, date):
+    result = benchmark.pedantic(
+        lambda: RollupJob(warehouse).run(*date, materialize=False),
+        rounds=1, iterations=1)
+    totals = {level: sum(result.tables[level].values())
+              for level in ROLLUP_LEVELS}
+    report("E4 rollup totals per schema level", sorted(totals.items()))
+    # every level accounts every event exactly once
+    assert len(set(totals.values())) == 1
+    # coarser schemas have no more distinct keys than finer ones
+    sizes = [len(result.tables[level]) for level in ROLLUP_LEVELS]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_top_level_metrics_shape(benchmark, rollups):
+    def top_metrics():
+        return rollups.top(1, n=10)
+
+    top = benchmark(top_metrics)
+    report("E4 top (client, *, *, *, *, action) metrics",
+           [(key, count) for key, count in top])
+    # impressions dominate the service
+    (top_key, __), *_rest = top
+    assert top_key[0][5] == "impression"
+
+
+def test_breakdowns_by_country_and_status(benchmark, rollups):
+    some_key = rollups.top(1, n=1)[0][0][0]
+
+    def breakdown():
+        total = rollups.count(1, some_key)
+        by_status = (rollups.count(1, some_key, status="logged_in"),
+                     rollups.count(1, some_key, status="logged_out"))
+        us = rollups.count(1, some_key, country="us")
+        return total, by_status, us
+
+    total, (logged_in, logged_out), us = benchmark(breakdown)
+    report("E4 breakdowns for top metric", [
+        ("total", total), ("logged_in", logged_in),
+        ("logged_out", logged_out), ("us", us),
+    ])
+    assert logged_in + logged_out == total
+    assert 0 < us < total

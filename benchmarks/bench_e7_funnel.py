@@ -1,0 +1,61 @@
+"""E7 -- §5.3: funnel analytics over the signup flow.
+
+Paper claim: the ClientEventsFunnel UDF "translates the funnel into a
+regular expression match over the session sequence string" and outputs
+per-stage counts like (0, 490123), (1, 297071), ...; variants count
+unique users and per-stage abandonment.
+
+Measured: the five-stage signup funnel over one day of sessions -- rows
+in the paper's shape (strictly non-increasing), abandonment per stage
+against the generator's configured continuation probabilities, and the
+unique-users variant.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analytics.funnel import run_funnel
+from repro.workload.behavior import FUNNEL_CONTINUE, signup_funnel_stages
+
+STAGES = signup_funnel_stages("web")
+
+
+def test_funnel_rows(benchmark, warehouse, date, dictionary):
+    funnel_report = benchmark.pedantic(
+        lambda: run_funnel(warehouse, date, STAGES, dictionary),
+        rounds=2, iterations=1)
+    rows = funnel_report.rows()
+    report("E7 signup funnel (paper shape: (stage, count) rows)", rows)
+    counts = [count for __, count in rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[0] > 0
+
+
+def test_funnel_abandonment_tracks_generator(benchmark, warehouse, date,
+                                             dictionary):
+    """Stage-over-stage survival should approximate the behaviour model's
+    continuation probabilities (within sampling noise)."""
+    funnel_report = benchmark.pedantic(
+        lambda: run_funnel(warehouse, date, STAGES, dictionary),
+        rounds=1, iterations=1)
+    counts = funnel_report.stage_counts
+    survivals = [counts[i + 1] / counts[i] if counts[i] else None
+                 for i in range(len(counts) - 1)]
+    rows = list(zip(survivals, FUNNEL_CONTINUE[1:]))
+    report("E7 per-stage survival: measured vs generator truth", rows)
+    for measured, truth in rows:
+        if measured is not None and counts[0] >= 25:
+            assert abs(measured - truth) < 0.35
+
+
+def test_funnel_unique_users(benchmark, warehouse, date, dictionary):
+    by_user = benchmark.pedantic(
+        lambda: run_funnel(warehouse, date, STAGES, dictionary,
+                           unique_users=True),
+        rounds=1, iterations=1)
+    by_session = run_funnel(warehouse, date, STAGES, dictionary)
+    rows = [("sessions", by_session.rows()), ("users", by_user.rows())]
+    report("E7 sessions vs unique users", rows)
+    for s_count, u_count in zip(by_session.stage_counts,
+                                by_user.stage_counts):
+        assert u_count <= s_count

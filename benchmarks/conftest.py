@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures: a medium-scale generated day plus built
+artifacts, sized so the whole bench suite runs in minutes on a laptop
+while still showing the paper's effects (many blocks, skewed histograms,
+thousands of sessions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import SessionSequenceBuilder
+from repro.hdfs.namenode import HDFS
+from repro.workload.generator import WorkloadGenerator, load_warehouse_day
+
+DATE = (2012, 3, 10)
+NUM_USERS = 500
+SEED = 2012
+
+
+def pytest_configure(config):
+    # Keep benchmark wall-clock bounded: one round is informative here
+    # because every benched function is deterministic.
+    config.option.benchmark_min_rounds = getattr(
+        config.option, "benchmark_min_rounds", 5) or 5
+
+
+@pytest.fixture(scope="session")
+def date():
+    return DATE
+
+
+@pytest.fixture(scope="session")
+def workload():
+    generator = WorkloadGenerator(num_users=NUM_USERS, seed=SEED)
+    return generator.generate_day(*DATE)
+
+
+@pytest.fixture(scope="session")
+def warehouse(workload):
+    fs = HDFS(block_size=16 * 1024)  # small blocks => many map splits
+    load_warehouse_day(fs, workload, events_per_file=1_000)
+    SessionSequenceBuilder(fs).run(*DATE)
+    return fs
+
+
+@pytest.fixture(scope="session")
+def builder(warehouse):
+    return SessionSequenceBuilder(warehouse)
+
+
+@pytest.fixture(scope="session")
+def build_result(warehouse):
+    return SessionSequenceBuilder(warehouse).run(*DATE)
+
+
+@pytest.fixture(scope="session")
+def dictionary(builder):
+    return builder.load_dictionary(*DATE)
+
+
+@pytest.fixture(scope="session")
+def sequence_records(builder):
+    return list(builder.iter_sequences(*DATE))
+
+
+def report(title: str, rows) -> None:
+    """Print a paper-shaped result block (visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   ", row)

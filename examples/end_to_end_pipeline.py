@@ -1,0 +1,110 @@
+"""The full Figure 1 pipeline, with a failure injected along the way.
+
+Production hosts → Scribe daemons → aggregators (discovered through
+ZooKeeper) → staging HDFS → log mover (sanity checks, small-file merge,
+atomic hourly slide) → main warehouse → Oink-triggered session-sequence
+build → BirdBrain dashboard summary.
+
+Run:  python examples/end_to_end_pipeline.py
+"""
+
+from repro.analytics.dashboard import summarize_day
+from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.core.builder import SessionSequenceBuilder
+from repro.core.event import CLIENT_EVENTS_CATEGORY
+from repro.hdfs.layout import hours_of_day
+from repro.logmover.mover import LogMover
+from repro.oink.scheduler import Oink
+from repro.scribe.cluster import ScribeDeployment
+from repro.scribe.message import CategoryConfig, LogEntry
+from repro.workload.generator import WorkloadGenerator
+
+DATE = (2012, 1, 1)  # the logical clock's epoch day
+
+
+def main() -> None:
+    # -- traffic -----------------------------------------------------------
+    workload = WorkloadGenerator(num_users=150, seed=7).generate_day(*DATE)
+    events = sorted(workload.events, key=lambda e: e.timestamp)
+    print(f"{len(events)} events from {workload.sessions_generated} sessions")
+
+    # -- Scribe delivery across two datacenters ----------------------------
+    deployment = ScribeDeployment(["east", "west"], num_hosts=4,
+                                  num_aggregators=2, seed=1,
+                                  durable_aggregators=True)
+    deployment.categories.register(
+        CategoryConfig(CLIENT_EVENTS_CATEGORY, max_file_records=200))
+    east, west = deployment.datacenters.values()
+
+    crashed = restarted = False
+    victim = next(iter(east.aggregators))
+    for event in events:
+        deployment.clock.advance_to(event.timestamp)
+        if not crashed and event.timestamp > MILLIS_PER_DAY // 2:
+            print(f"  !! crashing aggregator {victim} at noon "
+                  f"(daemons fail over via ZooKeeper)")
+            east.crash_aggregator(victim)
+            crashed = True
+        if crashed and not restarted and \
+                event.timestamp > MILLIS_PER_DAY // 2 + MILLIS_PER_HOUR:
+            print(f"  !! restarting {victim} an hour later "
+                  f"(write-ahead buffer replays its pending messages)")
+            east.restart_aggregator(victim)
+            restarted = True
+        datacenter = east if event.user_id % 2 else west
+        datacenter.log_from(event.user_id,
+                            LogEntry(CLIENT_EVENTS_CATEGORY,
+                                     event.to_bytes()))
+    if not restarted:
+        east.restart_aggregator(victim)
+    deployment.flush_all()
+    print(f"accepted {deployment.total_accepted()}, "
+          f"staged {deployment.total_staged()} "
+          f"(durable aggregators: zero loss)")
+
+    # -- log mover: staging -> warehouse ------------------------------------
+    mover = LogMover({name: dc.staging
+                      for name, dc in deployment.datacenters.items()},
+                     deployment.warehouse)
+    moved = 0
+    merged_from = 0
+    for day in (DATE[2], DATE[2] + 1):  # sessions spill past midnight
+        for hour in hours_of_day(CLIENT_EVENTS_CATEGORY, DATE[0], DATE[1],
+                                 day):
+            if mover.hour_has_data(hour):
+                result = mover.move_hour(hour, require_complete=False)
+                moved += result.messages_moved
+                merged_from += result.input_files
+    print(f"log mover slid {moved} messages into the warehouse "
+          f"(merged {merged_from} staging files)")
+
+    # -- Oink schedules the daily build after the mover ---------------------
+    oink = Oink(deployment.clock)
+    builder = SessionSequenceBuilder(deployment.warehouse)
+    state = {}
+
+    def build_sequences(period_start: int) -> None:
+        state["result"] = builder.run(*DATE)
+
+    oink.daily("session_sequences", build_sequences,
+               gate=lambda period: moved > 0)
+    deployment.clock.advance_to(MILLIS_PER_DAY + MILLIS_PER_HOUR)
+    oink.run_pending()
+    build = state["result"]
+    trace = oink.traces.for_job("session_sequences")[0]
+    print(f"oink ran session_sequences (success={trace.success}): "
+          f"{build.sessions_built} sessions, "
+          f"{build.compression_factor:.0f}x compression")
+
+    # -- BirdBrain ----------------------------------------------------------
+    dictionary = builder.load_dictionary(*DATE)
+    records = list(builder.iter_sequences(*DATE))
+    summary = summarize_day(DATE, records, dictionary)
+    print(f"\nBirdBrain {summary.date_str}: {summary.sessions} sessions, "
+          f"{summary.distinct_users} users")
+    print("  by client:", dict(sorted(summary.sessions_by_client.items())))
+    print("  by duration:", dict(sorted(summary.duration_histogram.items())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Funnel analytics and CTR/FTR over session sequences (§4.1, §5.3).
+
+Reproduces the paper's funnel output shape for the signup flow, per-stage
+abandonment, the unique-users variant, and the who-to-follow CTR/FTR
+queries -- including an ad hoc demographic subset ("users in the UK")
+which is exactly the kind of query dashboards cannot pre-compute.
+
+Run:  python examples/funnel_analysis.py
+"""
+
+from repro.analytics.ctr import ctr, ftr
+from repro.analytics.funnel import run_funnel
+from repro.core.builder import SessionSequenceBuilder
+from repro.hdfs.namenode import HDFS
+from repro.workload.behavior import signup_funnel_stages
+from repro.workload.generator import WorkloadGenerator, load_warehouse_day
+
+DATE = (2012, 3, 10)
+
+
+def main() -> None:
+    generator = WorkloadGenerator(num_users=800, seed=99)
+    workload = generator.generate_day(*DATE)
+    warehouse = HDFS()
+    load_warehouse_day(warehouse, workload)
+    builder = SessionSequenceBuilder(warehouse)
+    builder.run(*DATE)
+    dictionary = builder.load_dictionary(*DATE)
+
+    # -- the signup funnel (§5.3) ------------------------------------------
+    stages = signup_funnel_stages("web")
+    report = run_funnel(warehouse, DATE, stages, dictionary)
+    print("signup funnel (sessions):")
+    for stage, count in report.rows():
+        print(f"  ({stage}, {count})")
+    print("per-stage abandonment:",
+          [f"{a:.0%}" for a in report.abandonment()])
+    print(f"end-to-end completion: {report.completion_rate:.1%}")
+
+    by_user = run_funnel(warehouse, DATE, stages, dictionary,
+                         unique_users=True)
+    print("\nsignup funnel (unique users):")
+    for stage, count in by_user.rows():
+        print(f"  ({stage}, {count})")
+
+    # -- CTR / FTR for who-to-follow (§4.1) ---------------------------------
+    records = list(builder.iter_sequences(*DATE))
+    impressions = "*:user_card:impression"
+    clicks = "*:user_card:click"
+    follows = "*:user_card:follow"
+    ctr_report = ctr("who_to_follow", impressions, clicks, dictionary,
+                     records)
+    ftr_report = ftr("who_to_follow", impressions, follows, dictionary,
+                     records)
+    print(f"\nwho-to-follow CTR: {ctr_report.rate:.3f} "
+          f"({ctr_report.actions}/{ctr_report.impressions})")
+    print(f"who-to-follow FTR: {ftr_report.rate:.3f} "
+          f"({ftr_report.actions}/{ftr_report.impressions})")
+
+    # -- the same rate for an ad hoc user subset ----------------------------
+    uk_users = {u.user_id for u in generator.population
+                if u.country == "uk"}
+    uk_ctr = ctr("who_to_follow (uk)", impressions, clicks, dictionary,
+                 records, user_filter=lambda r: r.user_id in uk_users)
+    print(f"who-to-follow CTR, UK users only: {uk_ctr.rate:.3f} "
+          f"over {uk_ctr.sessions} sessions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of Twitter's unified logging infrastructure (VLDB 2012).
+
+The package is organised as a stack:
+
+- :mod:`repro.thriftlike` -- Thrift-style serialization (binary and compact
+  protocols, declarative structs, schema evolution).
+- :mod:`repro.hdfs` -- an in-memory HDFS: namespace, files, blocks, codecs.
+- :mod:`repro.scribe` -- Scribe daemons/aggregators plus a simulated
+  ZooKeeper used for aggregator discovery and failover.
+- :mod:`repro.logmover` -- the staging-to-warehouse log mover pipeline.
+- :mod:`repro.mapreduce` -- a local MapReduce engine with exact counters.
+- :mod:`repro.pig` -- a small Pig-like dataflow layer compiled onto it.
+- :mod:`repro.oink` -- the workflow manager and automatic rollup jobs.
+- :mod:`repro.core` -- the paper's contribution: unified client events and
+  materialized session sequences.
+- :mod:`repro.legacy` -- application-specific logging baselines.
+- :mod:`repro.analytics` -- counting, funnels, CTR/FTR, dashboards.
+- :mod:`repro.nlp` -- n-gram user modeling, collocations, alignment.
+- :mod:`repro.elephanttwin` -- block-level indexing with pushdown.
+- :mod:`repro.workload` -- seeded synthetic user-behavior generation.
+"""
+
+from repro.core.event import ClientEvent, EventInitiator
+from repro.core.names import EventName
+from repro.core.dictionary import EventDictionary
+from repro.core.sessionizer import Sessionizer, Session
+from repro.core.sequences import SessionSequenceRecord
+from repro.core.builder import SessionSequenceBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientEvent",
+    "EventInitiator",
+    "EventName",
+    "EventDictionary",
+    "Sessionizer",
+    "Session",
+    "SessionSequenceRecord",
+    "SessionSequenceBuilder",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Applications over client events and session sequences (§5)."""
+
+from repro.analytics.counting import (
+    CountClientEvents,
+    SessionsWithEvent,
+    count_events_raw,
+    count_events_sequences,
+)
+from repro.analytics.funnel import (
+    ClientEventsFunnel,
+    FunnelReport,
+    run_funnel,
+)
+from repro.analytics.ctr import FeatureRates, RateReport, ctr, ftr
+from repro.analytics.navigation import (
+    FollowRate,
+    feature_usage,
+    followed_by,
+    top_transitions,
+    transition_counts,
+)
+from repro.analytics.lifeflow import (
+    FlowNode,
+    LifeFlowTree,
+    action_level,
+    page_level,
+)
+from repro.analytics.abtest import (
+    ABResult,
+    BucketResult,
+    Experiment,
+    compare_proportions,
+    evaluate_metric,
+)
+from repro.analytics.timeseries import (
+    MetricSeries,
+    custom_series,
+    event_count_series,
+    rate_series,
+    sessions_with_event_series,
+)
+from repro.analytics.dashboard import (
+    BirdBrain,
+    DEFAULT_DURATION_BUCKETS,
+    DailySummary,
+    bucket_label,
+    summarize_day,
+)
+
+__all__ = [
+    "CountClientEvents",
+    "SessionsWithEvent",
+    "count_events_raw",
+    "count_events_sequences",
+    "ClientEventsFunnel",
+    "FunnelReport",
+    "run_funnel",
+    "FeatureRates",
+    "RateReport",
+    "ctr",
+    "ftr",
+    "FollowRate",
+    "feature_usage",
+    "followed_by",
+    "top_transitions",
+    "transition_counts",
+    "FlowNode",
+    "LifeFlowTree",
+    "action_level",
+    "page_level",
+    "ABResult",
+    "BucketResult",
+    "Experiment",
+    "compare_proportions",
+    "evaluate_metric",
+    "MetricSeries",
+    "custom_series",
+    "event_count_series",
+    "rate_series",
+    "sessions_with_event_series",
+    "BirdBrain",
+    "DEFAULT_DURATION_BUCKETS",
+    "DailySummary",
+    "bucket_label",
+    "summarize_day",
+]

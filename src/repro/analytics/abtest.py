@@ -1,0 +1,157 @@
+"""A/B testing over session sequences (§5.3).
+
+"Companies typically run A/B tests to optimize the flow [Kohavi et al.
+2007], for example, varying the page layout of a particular step or
+number of overall steps to assess the impact on end-to-end metrics."
+
+The harness provides the two halves of that loop:
+
+- deterministic bucket assignment by hashing (user id, experiment name,
+  salt) -- users keep their bucket across sessions and days;
+- per-bucket metric evaluation over session sequences (any
+  record -> float metric: funnel completion, sessions-with-event,
+  counts), with a two-proportion z-test for binary metrics.
+
+Everything is stdlib; the normal tail probability uses ``math.erfc``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.sequences import SessionSequenceRecord
+
+Metric = Callable[[SessionSequenceRecord], float]
+
+
+class Experiment:
+    """A named experiment with weighted buckets."""
+
+    def __init__(self, name: str,
+                 buckets: Sequence[str] = ("control", "treatment"),
+                 weights: Optional[Sequence[float]] = None,
+                 salt: str = "") -> None:
+        if len(buckets) < 2:
+            raise ValueError("an experiment needs at least two buckets")
+        if len(set(buckets)) != len(buckets):
+            raise ValueError("bucket names must be unique")
+        weights = list(weights) if weights is not None else [1.0] * len(buckets)
+        if len(weights) != len(buckets) or any(w <= 0 for w in weights):
+            raise ValueError("need one positive weight per bucket")
+        self.name = name
+        self.buckets = list(buckets)
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._salt = salt
+
+    def assign(self, user_id: int) -> str:
+        """Deterministic bucket for one user."""
+        digest = hashlib.sha256(
+            f"{self.name}:{self._salt}:{user_id}".encode()).digest()
+        roll = int.from_bytes(digest[:8], "big") / 2 ** 64
+        for bucket, edge in zip(self.buckets, self._cumulative):
+            if roll < edge:
+                return bucket
+        return self.buckets[-1]
+
+    def split(self, records: Iterable[SessionSequenceRecord]
+              ) -> Dict[str, List[SessionSequenceRecord]]:
+        """Partition session records by their user's bucket."""
+        out: Dict[str, List[SessionSequenceRecord]] = {
+            bucket: [] for bucket in self.buckets}
+        for record in records:
+            out[self.assign(record.user_id)].append(record)
+        return out
+
+
+@dataclass
+class BucketResult:
+    """One bucket's aggregate for a metric."""
+
+    bucket: str
+    sessions: int
+    total: float
+
+    @property
+    def mean(self) -> float:
+        """Mean metric value per session in this bucket."""
+        return self.total / self.sessions if self.sessions else 0.0
+
+
+@dataclass
+class ABResult:
+    """Comparison of a treatment bucket against control."""
+
+    metric_name: str
+    control: BucketResult
+    treatment: BucketResult
+    z_score: float
+    p_value: float
+
+    @property
+    def lift(self) -> float:
+        """Relative change of the treatment mean over control."""
+        if self.control.mean == 0:
+            return float("inf") if self.treatment.mean > 0 else 0.0
+        return self.treatment.mean / self.control.mean - 1.0
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the p-value is below ``alpha``."""
+        return self.p_value < alpha
+
+
+def evaluate_metric(experiment: Experiment,
+                    records: Iterable[SessionSequenceRecord],
+                    metric: Metric,
+                    metric_name: str = "metric") -> Dict[str, BucketResult]:
+    """Aggregate a metric per bucket."""
+    results = {}
+    for bucket, bucket_records in experiment.split(records).items():
+        total = sum(metric(record) for record in bucket_records)
+        results[bucket] = BucketResult(bucket=bucket,
+                                       sessions=len(bucket_records),
+                                       total=total)
+    return results
+
+
+def compare_proportions(experiment: Experiment,
+                        records: Iterable[SessionSequenceRecord],
+                        metric: Metric,
+                        treatment: str = "treatment",
+                        control: str = "control",
+                        metric_name: str = "conversion") -> ABResult:
+    """Two-proportion z-test for a binary (0/1) session metric.
+
+    Suitable for "did the session complete the funnel", "did the session
+    use feature X" -- the end-to-end metrics §5.3 mentions.
+    """
+    per_bucket = evaluate_metric(experiment, records, metric, metric_name)
+    c = per_bucket[control]
+    t = per_bucket[treatment]
+    z = _two_proportion_z(c.total, c.sessions, t.total, t.sessions)
+    p = _two_sided_p(z)
+    return ABResult(metric_name=metric_name, control=c, treatment=t,
+                    z_score=z, p_value=p)
+
+
+def _two_proportion_z(x1: float, n1: int, x2: float, n2: int) -> float:
+    if n1 == 0 or n2 == 0:
+        return 0.0
+    p1, p2 = x1 / n1, x2 / n2
+    pooled = (x1 + x2) / (n1 + n2)
+    variance = pooled * (1 - pooled) * (1 / n1 + 1 / n2)
+    if variance <= 0:
+        return 0.0
+    return (p2 - p1) / math.sqrt(variance)
+
+
+def _two_sided_p(z: float) -> float:
+    """P(|Z| >= |z|) for standard normal Z."""
+    return math.erfc(abs(z) / math.sqrt(2))

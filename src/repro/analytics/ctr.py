@@ -1,0 +1,99 @@
+"""Click-through and follow-through rates (§4.1).
+
+"Examples are queries that involve computing click-through rate (CTR) and
+follow-through rate (FTR) for various features in the service: how often
+are search results, who-to-follow suggestions, trends, etc. clicked on
+within a session, with respect to the number of impressions recorded?
+Similarly, what fraction of these events led to new followers? ... it
+suffices to know that an impression was followed by a click or follow
+event."
+
+Rates are computable from session sequences alone; the optional user
+predicate reproduces the ad hoc subsetting data scientists do ("casual
+users in the U.K. who are interested in sports").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+
+@dataclass
+class RateReport:
+    """Aggregated numerator/denominator with the derived rate."""
+
+    feature: str
+    impressions: int
+    actions: int
+    sessions: int
+
+    @property
+    def rate(self) -> float:
+        """actions / impressions (0.0 when no impressions)."""
+        if self.impressions == 0:
+            return 0.0
+        return self.actions / self.impressions
+
+
+class FeatureRates:
+    """Computes CTR/FTR-style rates for one feature from sequences."""
+
+    def __init__(self, feature: str, impression_pattern: str,
+                 action_pattern: str, dictionary: EventDictionary,
+                 followed_within_session: bool = True) -> None:
+        self.feature = feature
+        self._impressions = re.compile(
+            dictionary.symbol_class(impression_pattern))
+        self._actions = re.compile(dictionary.symbol_class(action_pattern))
+        # When set, an action only counts if some impression precedes it
+        # within the session ("an impression was followed by a click").
+        self._ordered = followed_within_session
+
+    def measure(self, records: Iterable[SessionSequenceRecord],
+                user_filter: Optional[Callable[[SessionSequenceRecord],
+                                               bool]] = None) -> RateReport:
+        """Aggregate the rate over session records, optionally filtered by user."""
+        impressions = 0
+        actions = 0
+        sessions = 0
+        for record in records:
+            if user_filter is not None and not user_filter(record):
+                continue
+            sessions += 1
+            sequence = record.session_sequence
+            session_impressions = len(self._impressions.findall(sequence))
+            impressions += session_impressions
+            if self._ordered:
+                first = self._impressions.search(sequence)
+                if first is None:
+                    continue
+                actions += len(self._actions.findall(sequence, first.end()))
+            else:
+                actions += len(self._actions.findall(sequence))
+        return RateReport(feature=self.feature, impressions=impressions,
+                          actions=actions, sessions=sessions)
+
+
+def ctr(feature: str, impression_pattern: str, click_pattern: str,
+        dictionary: EventDictionary,
+        records: Iterable[SessionSequenceRecord],
+        user_filter: Optional[Callable] = None) -> RateReport:
+    """Click-through rate of a feature over session sequences."""
+    rates = FeatureRates(feature, impression_pattern, click_pattern,
+                         dictionary)
+    return rates.measure(records, user_filter)
+
+
+def ftr(feature: str, impression_pattern: str, follow_pattern: str,
+        dictionary: EventDictionary,
+        records: Iterable[SessionSequenceRecord],
+        user_filter: Optional[Callable] = None) -> RateReport:
+    """Follow-through rate of a feature over session sequences."""
+    rates = FeatureRates(feature, impression_pattern, follow_pattern,
+                         dictionary)
+    return rates.measure(records, user_filter)

@@ -1,0 +1,133 @@
+"""BirdBrain: the analytical dashboard feed (§5.1).
+
+"A series of daily jobs generate summary statistics, which feed into our
+analytical dashboard called BirdBrain. The dashboard displays the number
+of user sessions daily and plotted as a function of time ... We also
+provide the ability to drill down by client type (i.e., twitter.com site,
+iPhone, Android, etc.) and by (bucketed) session duration."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+#: Session-duration buckets in seconds (right-open; last is unbounded).
+DEFAULT_DURATION_BUCKETS = (0, 30, 60, 300, 900, 1800)
+
+Date = Tuple[int, int, int]
+
+
+@dataclass
+class DailySummary:
+    """One day's summary statistics as shown on the dashboard."""
+
+    date: Date
+    sessions: int
+    events: int
+    distinct_users: int
+    sessions_by_client: Dict[str, int]
+    duration_histogram: Dict[str, int]
+    mean_session_events: float
+
+    @property
+    def date_str(self) -> str:
+        """The date as ``YYYY-MM-DD``."""
+        return f"{self.date[0]:04d}-{self.date[1]:02d}-{self.date[2]:02d}"
+
+
+def bucket_label(duration_s: int, buckets: Sequence[int]) -> str:
+    """Human-readable label of the bucket containing ``duration_s``."""
+    for low, high in zip(buckets, list(buckets[1:]) + [None]):
+        if high is None or duration_s < high:
+            if duration_s >= low:
+                return f"{low}-{high}s" if high is not None else f"{low}s+"
+    return f"{buckets[0]}-{buckets[1]}s"  # durations below the first edge
+
+
+def summarize_day(date: Date,
+                  records: Iterable[SessionSequenceRecord],
+                  dictionary: EventDictionary,
+                  buckets: Sequence[int] = DEFAULT_DURATION_BUCKETS
+                  ) -> DailySummary:
+    """Compute one day's dashboard summary from session sequences.
+
+    Everything here needs only the compact store -- "due to their compact
+    size, statistics about sessions are easy to compute from the session
+    sequences".
+    """
+    sessions = 0
+    events = 0
+    users = set()
+    by_client: Counter = Counter()
+    histogram: Counter = Counter()
+    for record in records:
+        sessions += 1
+        events += record.num_events
+        users.add(record.user_id)
+        client = record.client(dictionary) or "unknown"
+        by_client[client] += 1
+        histogram[bucket_label(record.duration, buckets)] += 1
+    return DailySummary(
+        date=date,
+        sessions=sessions,
+        events=events,
+        distinct_users=len(users),
+        sessions_by_client=dict(by_client),
+        duration_histogram=dict(histogram),
+        mean_session_events=(events / sessions) if sessions else 0.0,
+    )
+
+
+class BirdBrain:
+    """The dashboard: a time series of :class:`DailySummary` rows."""
+
+    def __init__(self) -> None:
+        self._days: Dict[Date, DailySummary] = {}
+
+    def add_day(self, summary: DailySummary) -> None:
+        """Add (or replace) one day's summary on the dashboard."""
+        self._days[summary.date] = summary
+
+    def day(self, date: Date) -> DailySummary:
+        """The stored summary for one date."""
+        return self._days[date]
+
+    def dates(self) -> List[Date]:
+        """All dates on the dashboard, sorted."""
+        return sorted(self._days)
+
+    # -- top-level plots ---------------------------------------------------
+    def sessions_over_time(self) -> List[Tuple[Date, int]]:
+        """The headline plot: daily user sessions as a function of time."""
+        return [(date, self._days[date].sessions) for date in self.dates()]
+
+    def growth_rate(self) -> Optional[float]:
+        """Sessions growth from the first to last day (fraction)."""
+        series = self.sessions_over_time()
+        if len(series) < 2 or series[0][1] == 0:
+            return None
+        return series[-1][1] / series[0][1] - 1.0
+
+    # -- drill-downs -------------------------------------------------------
+    def sessions_by_client(self, date: Date) -> Dict[str, int]:
+        """Session counts per client type for one date."""
+        return dict(self._days[date].sessions_by_client)
+
+    def duration_histogram(self, date: Date) -> Dict[str, int]:
+        """Bucketed session-duration counts for one date."""
+        return dict(self._days[date].duration_histogram)
+
+    def client_share_over_time(self, client: str) -> List[Tuple[Date, float]]:
+        """Fraction of sessions from one client, per day."""
+        out = []
+        for date in self.dates():
+            summary = self._days[date]
+            share = (summary.sessions_by_client.get(client, 0)
+                     / summary.sessions) if summary.sessions else 0.0
+            out.append((date, share))
+        return out

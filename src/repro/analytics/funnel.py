@@ -1,0 +1,130 @@
+"""Funnel analytics over session sequences (§5.3).
+
+"we have created a UDF for defining funnels:
+
+    define Funnel ClientEventsFunnel('$EVENT1', '$EVENT2', ...);
+
+... the output might be something like
+
+    (0, 490123)
+    (1, 297071)
+    ...
+
+which tells us how many of the examined sessions entered the funnel,
+completed the first stage, etc. This particular UDF translates the funnel
+into a regular expression match over the session sequence string."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+from repro.hdfs.namenode import HDFS
+from repro.mapreduce.jobtracker import JobTracker
+from repro.pig.loaders import SessionSequencesLoader
+from repro.pig.relation import PigServer
+from repro.pig.udf import EvalFunc
+
+
+class ClientEventsFunnel(EvalFunc):
+    """Returns how many funnel stages a session completed, in order.
+
+    A session completes stage k when symbols matching stages 1..k appear
+    as a subsequence of its sequence string. The check is a single regular
+    expression per prefix -- ``S1.*S2.*...Sk`` over symbol classes --
+    exactly the translation the paper describes; a non-greedy scan keeps
+    it linear in practice.
+    """
+
+    def __init__(self, stage_patterns: Sequence[str],
+                 dictionary: EventDictionary) -> None:
+        if not stage_patterns:
+            raise ValueError("funnel needs at least one stage")
+        self.stage_patterns = list(stage_patterns)
+        classes = [dictionary.symbol_class(p) for p in stage_patterns]
+        self._prefix_regexes = [
+            re.compile(".*?".join(classes[:k]), re.DOTALL)
+            for k in range(1, len(classes) + 1)
+        ]
+
+    def exec(self, record: Any) -> int:  # noqa: A003
+        """Number of funnel stages this session completed, in order."""
+        sequence = (record.session_sequence
+                    if isinstance(record, SessionSequenceRecord) else record)
+        completed = 0
+        for regex in self._prefix_regexes:
+            if regex.search(sequence):
+                completed += 1
+            else:
+                break
+        return completed
+
+
+@dataclass
+class FunnelReport:
+    """Per-stage counts in the paper's output shape."""
+
+    stage_patterns: List[str]
+    entered: int                     # sessions examined
+    stage_counts: List[int]          # sessions completing stage 1..N
+
+    def rows(self) -> List[Tuple[int, int]]:
+        """The paper's ``(stage, count)`` rows; stage 0 = entered."""
+        return [(0, self.entered)] + [
+            (i + 1, count) for i, count in enumerate(self.stage_counts)
+        ]
+
+    def abandonment(self) -> List[float]:
+        """Fraction lost at each step (entered -> stage1 -> ... -> stageN)."""
+        out: List[float] = []
+        previous = self.entered
+        for count in self.stage_counts:
+            out.append(0.0 if previous == 0 else 1.0 - count / previous)
+            previous = count
+        return out
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of entered sessions completing every stage."""
+        if self.entered == 0:
+            return 0.0
+        return self.stage_counts[-1] / self.entered
+
+
+def run_funnel(warehouse: HDFS, date: Tuple[int, int, int],
+               stage_patterns: Sequence[str], dictionary: EventDictionary,
+               tracker: Optional[JobTracker] = None,
+               unique_users: bool = False) -> FunnelReport:
+    """Execute the funnel script over one day's session sequences.
+
+    With ``unique_users`` counts are per user, not per session:
+    "Translating these figures into the number of users ... is simply a
+    matter of applying the unique operator in Pig prior to summing up the
+    per-stage counts."
+    """
+    pig = PigServer(tracker)
+    funnel = ClientEventsFunnel(stage_patterns, dictionary)
+    year, month, day = date
+    raw = pig.load(SessionSequencesLoader(warehouse, year, month, day))
+    evaluated = raw.foreach(lambda r: (r.user_id, funnel(r)),
+                            description="ClientEventsFunnel")
+    if unique_users:
+        # Keep each user's deepest funnel penetration.
+        evaluated = (
+            evaluated.group_by(lambda kv: kv[0], description="by_user")
+            .foreach(lambda g: (g["group"], max(v for __, v in g["bag"])),
+                     description="deepest_stage")
+        )
+    rows = evaluated.dump()
+    num_stages = len(stage_patterns)
+    entered = len(rows)
+    stage_counts = [
+        sum(1 for __, depth in rows if depth >= k)
+        for k in range(1, num_stages + 1)
+    ]
+    return FunnelReport(stage_patterns=list(stage_patterns),
+                        entered=entered, stage_counts=stage_counts)

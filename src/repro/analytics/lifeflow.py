@@ -1,0 +1,163 @@
+"""LifeFlow-style session-flow aggregation (§6).
+
+"We are also using advanced visualization techniques [LifeFlow,
+Wongsuphasawat et al. 2011] to provide data scientists a visual interface
+for exploring sessions -- the hope is that interesting behavioral
+patterns will map into distinct visual patterns."
+
+LifeFlow's core data structure is an aggregation of event sequences into
+a prefix tree: each node is "all sessions whose first k events share this
+prefix", weighted by how many sessions flow through it. We build that
+tree from session sequences and render it as text (the simulation's
+display surface). Note that, per §4.2's design choice, session sequences
+carry no intra-session timestamps, so the tree aggregates order only --
+the one LifeFlow feature (mean time-to-event) the compact store cannot
+support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+
+@dataclass
+class FlowNode:
+    """One prefix-tree node: an event at a depth, with traffic counts."""
+
+    event: str
+    depth: int
+    sessions: int = 0
+    terminations: int = 0          # sessions ending exactly here
+    children: Dict[str, "FlowNode"] = field(default_factory=dict)
+
+    def child(self, event: str) -> "FlowNode":
+        """The child node for ``event``, created on first use."""
+        node = self.children.get(event)
+        if node is None:
+            node = self.children[event] = FlowNode(event=event,
+                                                   depth=self.depth + 1)
+        return node
+
+    def sorted_children(self) -> List["FlowNode"]:
+        """Children ordered by traffic (heaviest first)."""
+        return sorted(self.children.values(),
+                      key=lambda n: (-n.sessions, n.event))
+
+
+class LifeFlowTree:
+    """Aggregated flow of many sessions, LifeFlow-style."""
+
+    def __init__(self, max_depth: int = 8,
+                 simplify: Optional[Callable[[str], str]] = None) -> None:
+        """``simplify`` maps event names to display labels before
+        aggregation (e.g. drop the client component so flows merge
+        across clients, or keep only the page level)."""
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.root = FlowNode(event="<start>", depth=0)
+        self.max_depth = max_depth
+        self._simplify = simplify or (lambda name: name)
+
+    # -- building ----------------------------------------------------------
+    def add_sequence(self, names: Sequence[str]) -> None:
+        """Aggregate one session's event names into the tree."""
+        self.root.sessions += 1
+        node = self.root
+        for i, name in enumerate(names[:self.max_depth]):
+            node = node.child(self._simplify(name))
+            node.sessions += 1
+        if len(names) <= self.max_depth:
+            node.terminations += 1
+
+    def add_records(self, records: Iterable[SessionSequenceRecord],
+                    dictionary: EventDictionary) -> "LifeFlowTree":
+        """Aggregate session-sequence records (decoded via the dictionary)."""
+        for record in records:
+            self.add_sequence(record.event_names(dictionary))
+        return self
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def total_sessions(self) -> int:
+        """How many sessions the tree aggregates."""
+        return self.root.sessions
+
+    def dominant_path(self) -> List[str]:
+        """The single heaviest flow through the tree."""
+        path: List[str] = []
+        node = self.root
+        while node.children:
+            node = node.sorted_children()[0]
+            path.append(node.event)
+        return path
+
+    def branch_factor(self) -> float:
+        """Mean children per internal node: how bushy the behaviour is."""
+        internal = 0
+        children = 0
+
+        def walk(node: FlowNode) -> None:
+            nonlocal internal, children
+            if node.children:
+                internal += 1
+                children += len(node.children)
+                for child in node.children.values():
+                    walk(child)
+
+        walk(self.root)
+        return children / internal if internal else 0.0
+
+    def flows_through(self, prefix: Sequence[str]) -> int:
+        """Sessions whose (simplified) events start with ``prefix``."""
+        node = self.root
+        for event in prefix:
+            child = node.children.get(event)
+            if child is None:
+                return 0
+            node = child
+        return node.sessions
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, min_fraction: float = 0.02,
+               max_children: int = 4) -> str:
+        """ASCII rendering: one line per node, bar width ∝ traffic.
+
+        Branches carrying less than ``min_fraction`` of the root's
+        sessions are elided (LifeFlow's simplification slider).
+        """
+        lines: List[str] = [f"<start>  [{self.total_sessions} sessions]"]
+        threshold = max(self.total_sessions * min_fraction, 1.0)
+
+        def walk(node: FlowNode, indent: str) -> None:
+            kept = [c for c in node.sorted_children()
+                    if c.sessions >= threshold][:max_children]
+            hidden = len(node.children) - len(kept)
+            for i, child in enumerate(kept):
+                last = (i == len(kept) - 1) and hidden == 0
+                branch = "`-" if last else "|-"
+                fraction = child.sessions / self.total_sessions
+                bar = "#" * max(int(fraction * 30), 1)
+                lines.append(
+                    f"{indent}{branch} {child.event}  "
+                    f"{child.sessions:5d} {bar}")
+                walk(child, indent + ("   " if last else "|  "))
+            if hidden > 0:
+                lines.append(f"{indent}`- ... {hidden} minor branch(es)")
+
+        walk(self.root, "")
+        return "\n".join(lines)
+
+
+def page_level(name: str) -> str:
+    """Simplifier keeping only ``page:action`` (merges across clients)."""
+    parts = name.split(":")
+    return f"{parts[1]}:{parts[5]}"
+
+
+def action_level(name: str) -> str:
+    """Simplifier keeping only the action component."""
+    return name.rsplit(":", 1)[1]

@@ -1,0 +1,101 @@
+"""Navigation behavior analysis (§4.1).
+
+"Another common class of queries that require only event names involves
+navigation behavior analysis, which focuses on how users navigate within
+Twitter clients. Examples questions include: How often do users take
+advantage of the 'discovery' features? How often do tweet detail
+expansions lead to detailed profile views? ... the names alone are
+sufficient to answer these questions."
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+
+def transition_counts(records: Iterable[SessionSequenceRecord],
+                      dictionary: EventDictionary) -> Counter:
+    """Counts of adjacent event-name pairs across all sessions."""
+    counts: Counter = Counter()
+    for record in records:
+        names = record.event_names(dictionary)
+        for a, b in zip(names, names[1:]):
+            counts[(a, b)] += 1
+    return counts
+
+
+@dataclass
+class FollowRate:
+    """How often events matching one pattern lead to another."""
+
+    antecedents: int          # sessions-or-events matching the first pattern
+    followed: int             # of those, how many were followed by the second
+
+    @property
+    def rate(self) -> float:
+        """followed / antecedents (0.0 when no antecedents)."""
+        if self.antecedents == 0:
+            return 0.0
+        return self.followed / self.antecedents
+
+
+def followed_by(records: Iterable[SessionSequenceRecord],
+                dictionary: EventDictionary,
+                first_pattern: str, second_pattern: str,
+                immediately: bool = False) -> FollowRate:
+    """Of events matching ``first_pattern``, the fraction followed (later
+    in the same session, or immediately next) by ``second_pattern``.
+
+    ``followed_by(records, d, "*:expand", "*:profile:*:*:*:*")``
+    answers "how often do tweet detail expansions lead to detailed
+    profile views?" (page-level patterns need the full six-component
+    form, since short patterns anchor at the client or action level).
+    """
+    first = re.compile(dictionary.symbol_class(first_pattern))
+    second = re.compile(dictionary.symbol_class(second_pattern))
+    antecedents = 0
+    followed = 0
+    for record in records:
+        sequence = record.session_sequence
+        for match in first.finditer(sequence):
+            antecedents += 1
+            if immediately:
+                nxt = sequence[match.end():match.end() + 1]
+                if nxt and second.match(nxt):
+                    followed += 1
+            else:
+                if second.search(sequence, match.end()):
+                    followed += 1
+    return FollowRate(antecedents=antecedents, followed=followed)
+
+
+def feature_usage(records: Iterable[SessionSequenceRecord],
+                  dictionary: EventDictionary,
+                  pattern: str) -> Tuple[int, int]:
+    """(sessions using the feature, total sessions).
+
+    ``feature_usage(records, d, "*:discover:*:*:*:*")`` answers "how
+    often do users take advantage of the discovery features?" -- at
+    session granularity.
+    """
+    regex = re.compile(dictionary.symbol_class(pattern))
+    total = 0
+    using = 0
+    for record in records:
+        total += 1
+        if regex.search(record.session_sequence):
+            using += 1
+    return using, total
+
+
+def top_transitions(records: Iterable[SessionSequenceRecord],
+                    dictionary: EventDictionary,
+                    n: int = 20) -> List[Tuple[Tuple[str, str], int]]:
+    """Most common adjacent event pairs (the navigation backbone)."""
+    return transition_counts(records, dictionary).most_common(n)

@@ -1,0 +1,119 @@
+"""Metric time series across days (§5.1's "spot trends").
+
+Each day has its own dictionary (rebuilt daily with the catalog), so a
+multi-day metric must re-expand its pattern against every day's
+dictionary -- this module hides that, turning a pattern or a
+record-metric into a dated series suitable for the BirdBrain plots.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+if TYPE_CHECKING:  # avoid a circular import with repro.workload.simulate
+    from repro.workload.simulate import WarehouseSimulation
+
+Date = Tuple[int, int, int]
+SeriesPoint = Tuple[Date, float]
+
+
+@dataclass
+class MetricSeries:
+    """A named daily series."""
+
+    name: str
+    points: List[SeriesPoint]
+
+    def values(self) -> List[float]:
+        """The metric values in date order."""
+        return [value for __, value in self.points]
+
+    def change(self) -> Optional[float]:
+        """Relative change first -> last (None if undefined)."""
+        if len(self.points) < 2 or self.points[0][1] == 0:
+            return None
+        return self.points[-1][1] / self.points[0][1] - 1.0
+
+    def mean(self) -> float:
+        """Mean of the series (0.0 when empty)."""
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0
+
+
+def event_count_series(simulation: "WarehouseSimulation",
+                       pattern: str) -> MetricSeries:
+    """Daily occurrences of events matching ``pattern``."""
+
+    def count(records: Sequence[SessionSequenceRecord],
+              dictionary: EventDictionary) -> float:
+        regex = re.compile(dictionary.symbol_class(pattern))
+        return float(sum(len(regex.findall(r.session_sequence))
+                         for r in records))
+
+    return _series(simulation, f"count({pattern})", count)
+
+
+def sessions_with_event_series(simulation: "WarehouseSimulation",
+                               pattern: str) -> MetricSeries:
+    """Daily count of sessions containing a matching event."""
+
+    def count(records: Sequence[SessionSequenceRecord],
+              dictionary: EventDictionary) -> float:
+        regex = re.compile(dictionary.symbol_class(pattern))
+        return float(sum(1 for r in records
+                         if regex.search(r.session_sequence)))
+
+    return _series(simulation, f"sessions_with({pattern})", count)
+
+
+def rate_series(simulation: "WarehouseSimulation",
+                impression_pattern: str, action_pattern: str,
+                name: str = "rate") -> MetricSeries:
+    """Daily CTR/FTR-style rate (ordered: action after an impression)."""
+
+    def rate(records: Sequence[SessionSequenceRecord],
+             dictionary: EventDictionary) -> float:
+        impressions_re = re.compile(
+            dictionary.symbol_class(impression_pattern))
+        actions_re = re.compile(dictionary.symbol_class(action_pattern))
+        impressions = 0
+        actions = 0
+        for record in records:
+            sequence = record.session_sequence
+            impressions += len(impressions_re.findall(sequence))
+            first = impressions_re.search(sequence)
+            if first is not None:
+                actions += len(actions_re.findall(sequence, first.end()))
+        return actions / impressions if impressions else 0.0
+
+    return _series(simulation, name, rate)
+
+
+def custom_series(simulation: "WarehouseSimulation", name: str,
+                  metric: Callable[[Sequence[SessionSequenceRecord],
+                                    EventDictionary], float]) -> MetricSeries:
+    """Series from an arbitrary per-day metric."""
+    return _series(simulation, name, metric)
+
+
+def _series(simulation: "WarehouseSimulation", name: str,
+            metric: Callable[[Sequence[SessionSequenceRecord],
+                              EventDictionary], float]) -> MetricSeries:
+    points: List[SeriesPoint] = []
+    for date in simulation.dates():
+        records = simulation.records(date)
+        dictionary = simulation.dictionary(date)
+        points.append((date, metric(records, dictionary)))
+    return MetricSeries(name=name, points=points)

@@ -1,0 +1,285 @@
+"""Command-line interface: drive the pipeline without writing code.
+
+Because the simulated HDFS is in-memory, every invocation is
+self-contained: it generates a deterministic workload (from ``--seed``),
+runs the pipeline, and answers the query. Identical seeds give identical
+answers across invocations.
+
+    python -m repro pipeline --days 3 --users 200
+    python -m repro count --pattern '*:profile_click'
+    python -m repro funnel --client web
+    python -m repro catalog --browse web
+    python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analytics.counting import count_events_raw, count_events_sequences
+from repro.analytics.funnel import run_funnel
+from repro.core.catalog import ClientEventCatalog
+from repro.mapreduce.jobtracker import JobTracker
+from repro.workload.behavior import signup_funnel_stages
+from repro.workload.simulate import WarehouseSimulation
+
+
+def _parse_date(text: str):
+    parts = text.split("-")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError("date must be YYYY-MM-DD")
+    return tuple(int(p) for p in parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--users", type=int, default=300,
+                        help="synthetic population size (default 300)")
+    common.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    common.add_argument("--date", type=_parse_date, default=(2012, 3, 10),
+                        metavar="YYYY-MM-DD",
+                        help="simulated calendar day (default 2012-03-10)")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Twitter unified-logging reproduction (VLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parser(name: str, help_text: str):
+        return sub.add_parser(name, help=help_text, parents=[common])
+
+    pipeline = add_parser(
+        "pipeline", "run N days end to end and print the dashboard")
+    pipeline.add_argument("--days", type=int, default=3)
+    pipeline.add_argument("--growth", type=int, default=50,
+                          help="extra users per day (default 50)")
+    pipeline.add_argument("--scribe", action="store_true",
+                          help="deliver through the Scribe path")
+
+    count = add_parser(
+        "count", "count events matching a pattern, both query paths")
+    count.add_argument("--pattern", required=True,
+                       help="e.g. '*:profile_click' or 'web:home:*'")
+    count.add_argument("--sessions", action="store_true",
+                       help="count sessions containing the event instead")
+
+    funnel = add_parser("funnel", "run the signup funnel")
+    funnel.add_argument("--client", default="web",
+                        choices=("web", "iphone", "android", "ipad"))
+    funnel.add_argument("--users-only", action="store_true",
+                        help="count unique users instead of sessions")
+
+    catalog = add_parser("catalog", "browse the event catalog")
+    catalog.add_argument("--browse", nargs="*", default=None,
+                         metavar="COMPONENT",
+                         help="prefix components, e.g. --browse web home")
+    catalog.add_argument("--search", default=None,
+                         help="pattern, e.g. '*:impression'")
+
+    trend = add_parser("trend", "metric time series across days")
+    trend.add_argument("--pattern", required=True,
+                       help="event pattern to track")
+    trend.add_argument("--days", type=int, default=5)
+    trend.add_argument("--growth", type=int, default=40,
+                       help="extra users per day (default 40)")
+    trend.add_argument("--sessions", action="store_true",
+                       help="track sessions containing the event")
+
+    script = add_parser("script", "run a Pig Latin script file")
+    script.add_argument("--file", required=True,
+                        help="path to the .pig script")
+    script.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="parameter substitution, repeatable; DATE "
+                             "defaults to the simulated day")
+
+    add_parser("report", "one-day pipeline summary (quick look)")
+    return parser
+
+
+def _one_day(args) -> WarehouseSimulation:
+    simulation = WarehouseSimulation(num_users=args.users, seed=args.seed,
+                                     start=args.date)
+    simulation.run_days(1)
+    return simulation
+
+
+def cmd_pipeline(args) -> int:
+    """``pipeline``: run N days end to end and print the dashboard."""
+    simulation = WarehouseSimulation(
+        num_users=args.users, seed=args.seed, start=args.date,
+        users_growth_per_day=args.growth, through_scribe=args.scribe)
+    simulation.run_days(args.days)
+    print(f"{args.days} day(s) simulated"
+          + (" (through Scribe delivery)" if args.scribe else ""))
+    print(f"{'date':12s} {'sessions':>8s} {'events':>8s} {'users':>6s} "
+          f"{'compress':>9s}")
+    for date in simulation.dates():
+        day = simulation.days[date]
+        print(f"{day.summary.date_str:12s} {day.summary.sessions:8d} "
+              f"{day.summary.events:8d} {day.summary.distinct_users:6d} "
+              f"{day.build.compression_factor:8.1f}x")
+    growth = simulation.board.growth_rate()
+    if growth is not None:
+        print(f"sessions growth over the window: {growth:+.1%}")
+    return 0
+
+
+def cmd_count(args) -> int:
+    """``count``: answer a counting query via both query paths."""
+    simulation = _one_day(args)
+    date = simulation.dates()[0]
+    dictionary = simulation.dictionary(date)
+    mode = "sessions" if args.sessions else "sum"
+    t_seq, t_raw = JobTracker(), JobTracker()
+    n_seq = count_events_sequences(simulation.warehouse, date,
+                                   args.pattern, dictionary,
+                                   tracker=t_seq, mode=mode)
+    n_raw = count_events_raw(simulation.warehouse, date, args.pattern,
+                             tracker=t_raw, mode=mode)
+    unit = "sessions containing" if args.sessions else "occurrences of"
+    print(f"{n_seq} {unit} {args.pattern!r}")
+    print(f"  sequences path: {t_seq.total_map_tasks()} mappers, "
+          f"{sum(r.input_bytes for r in t_seq.runs):,} bytes")
+    print(f"  raw-logs path:  {t_raw.total_map_tasks()} mappers, "
+          f"{sum(r.input_bytes for r in t_raw.runs):,} bytes "
+          f"(answers agree: {n_seq == n_raw})")
+    return 0
+
+
+def cmd_funnel(args) -> int:
+    """``funnel``: run the signup funnel and print its rows."""
+    simulation = _one_day(args)
+    date = simulation.dates()[0]
+    stages = signup_funnel_stages(args.client)
+    report = run_funnel(simulation.warehouse, date, stages,
+                        simulation.dictionary(date),
+                        unique_users=args.users_only)
+    kind = "users" if args.users_only else "sessions"
+    print(f"signup funnel on {args.client} ({kind}):")
+    for stage, count in report.rows():
+        print(f"  ({stage}, {count})")
+    print("abandonment:", " ".join(f"{a:.0%}" for a in report.abandonment()))
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    """``catalog``: browse or search the event catalog."""
+    simulation = _one_day(args)
+    date = simulation.dates()[0]
+    catalog = ClientEventCatalog(simulation.builder.load_histogram(*date),
+                                 simulation.builder.load_samples(*date))
+    if args.search:
+        hits = catalog.search(args.search)
+        print(f"{len(hits)} event type(s) match {args.search!r}:")
+        for entry in hits[:15]:
+            print(f"  {entry.count:7d}  {entry.name}")
+        return 0
+    prefix = args.browse or []
+    listing = catalog.browse(*prefix)
+    label = ":".join(prefix) if prefix else "<clients>"
+    print(f"catalog under {label}:")
+    for component, count in sorted(listing.items(),
+                                   key=lambda kv: -kv[1]):
+        print(f"  {component or '(empty)':20s} {count:7d} events")
+    return 0
+
+
+def cmd_trend(args) -> int:
+    """``trend``: print a metric's day-by-day series."""
+    from repro.analytics.timeseries import (
+        event_count_series,
+        sessions_with_event_series,
+    )
+
+    simulation = WarehouseSimulation(
+        num_users=args.users, seed=args.seed, start=args.date,
+        users_growth_per_day=args.growth)
+    simulation.run_days(args.days)
+    if args.sessions:
+        series = sessions_with_event_series(simulation, args.pattern)
+    else:
+        series = event_count_series(simulation, args.pattern)
+    print(f"{series.name} over {args.days} day(s):")
+    peak = max(series.values()) or 1.0
+    for (year, month, day), value in series.points:
+        bar = "#" * int(value / peak * 40)
+        print(f"  {year:04d}-{month:02d}-{day:02d} {value:10.0f} {bar}")
+    change = series.change()
+    if change is not None:
+        print(f"change over the window: {change:+.1%}")
+    return 0
+
+
+def cmd_script(args) -> int:
+    """``script``: execute a Pig Latin file against a fresh day."""
+    from repro.pig.latin import PigLatinInterpreter, standard_bindings
+    from repro.pig.relation import PigServer
+
+    simulation = _one_day(args)
+    date = simulation.dates()[0]
+    variables = {"DATE": f"{date[0]:04d}/{date[1]:02d}/{date[2]:02d}"}
+    for item in args.param:
+        name, _, value = item.partition("=")
+        if not name or not value:
+            print(f"bad --param {item!r}: expected NAME=VALUE")
+            return 2
+        variables[name] = value
+    with open(args.file) as handle:
+        text = handle.read()
+    interp = PigLatinInterpreter(
+        PigServer(), variables=variables,
+        **standard_bindings(simulation.warehouse,
+                            simulation.dictionary(date)))
+    result = interp.run(text)
+    for i, rows in enumerate(result.dumps):
+        label = f"dump #{i + 1}" if len(result.dumps) > 1 else "dump"
+        print(f"{label}: {len(rows)} row(s)")
+        for row in rows[:20]:
+            print("  ", row)
+        if len(rows) > 20:
+            print(f"   ... {len(rows) - 20} more")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``report``: one-day pipeline summary."""
+    simulation = _one_day(args)
+    date = simulation.dates()[0]
+    day = simulation.days[date]
+    print(f"day {day.summary.date_str} | users={args.users} "
+          f"seed={args.seed}")
+    print(f"  events {day.summary.events} | sessions "
+          f"{day.summary.sessions} | distinct users "
+          f"{day.summary.distinct_users}")
+    print(f"  event types {day.build.distinct_events} | compression "
+          f"{day.build.compression_factor:.1f}x")
+    print(f"  by client: "
+          f"{dict(sorted(day.summary.sessions_by_client.items()))}")
+    return 0
+
+
+_COMMANDS = {
+    "pipeline": cmd_pipeline,
+    "trend": cmd_trend,
+    "count": cmd_count,
+    "funnel": cmd_funnel,
+    "catalog": cmd_catalog,
+    "script": cmd_script,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

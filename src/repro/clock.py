@@ -1,0 +1,44 @@
+"""A logical clock shared by the simulated infrastructure.
+
+All library code takes time from a :class:`LogicalClock` rather than the
+wall clock, which keeps every simulation deterministic and lets tests
+advance time explicitly. Times are integer milliseconds since an arbitrary
+epoch, matching the millisecond timestamps client events carry.
+"""
+
+from __future__ import annotations
+
+
+MILLIS_PER_SECOND = 1000
+MILLIS_PER_MINUTE = 60 * MILLIS_PER_SECOND
+MILLIS_PER_HOUR = 60 * MILLIS_PER_MINUTE
+MILLIS_PER_DAY = 24 * MILLIS_PER_HOUR
+
+
+class LogicalClock:
+    """Monotone integer-millisecond clock."""
+
+    def __init__(self, start_ms: int = 0) -> None:
+        if start_ms < 0:
+            raise ValueError("start_ms must be non-negative")
+        self._now = start_ms
+
+    def now(self) -> int:
+        """Current time in milliseconds."""
+        return self._now
+
+    def advance(self, millis: int) -> int:
+        """Move time forward; returns the new time."""
+        if millis < 0:
+            raise ValueError("cannot move time backwards")
+        self._now += millis
+        return self._now
+
+    def advance_to(self, when_ms: int) -> int:
+        """Move time forward to an absolute instant (no-op if in the past)."""
+        if when_ms > self._now:
+            self._now = when_ms
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"LogicalClock(now={self._now})"

@@ -1,0 +1,67 @@
+"""Consistent log anonymization policies (§3.2).
+
+"Standardizing the location and names of these fields allows us to
+implement consistent policies for log anonymization." Because every
+client event stores user id, session id, and IP in the same fields, one
+anonymizer covers the whole warehouse.
+
+The anonymizer is deterministic under a secret salt so joins survive it:
+the same user id maps to the same pseudonym everywhere, but pseudonyms
+cannot be reversed without the salt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Iterator
+
+from repro.core.event import ClientEvent
+
+
+def _digest(salt: bytes, value: bytes, nbytes: int) -> int:
+    mac = hmac.new(salt, value, hashlib.sha256).digest()
+    return int.from_bytes(mac[:nbytes], "big")
+
+
+class Anonymizer:
+    """Pseudonymizes the standardized identity fields of client events."""
+
+    def __init__(self, salt: bytes, keep_ip_prefix: bool = True) -> None:
+        if not salt:
+            raise ValueError("salt must be non-empty")
+        self._salt = salt
+        self._keep_ip_prefix = keep_ip_prefix
+
+    def user_id(self, user_id: int) -> int:
+        """Deterministic pseudonymous user id (63-bit, join-preserving)."""
+        return _digest(self._salt, str(user_id).encode(), 8) & (2 ** 63 - 1)
+
+    def session_id(self, session_id: str) -> str:
+        """Deterministic pseudonymous session id."""
+        return format(_digest(self._salt, session_id.encode(), 16), "032x")
+
+    def ip(self, ip: str) -> str:
+        """Coarsen an IPv4 address.
+
+        With ``keep_ip_prefix`` the last octet is zeroed (retains
+        geographic utility for country breakdowns); otherwise the whole
+        address is pseudonymized.
+        """
+        if self._keep_ip_prefix and ip.count(".") == 3:
+            prefix = ip.rsplit(".", 1)[0]
+            return f"{prefix}.0"
+        return format(_digest(self._salt, ip.encode(), 4), "08x")
+
+    def event(self, event: ClientEvent) -> ClientEvent:
+        """Return an anonymized copy of one event."""
+        return event.replace(
+            user_id=self.user_id(event.user_id),
+            session_id=self.session_id(event.session_id),
+            ip=self.ip(event.ip),
+        )
+
+    def events(self, events: Iterable[ClientEvent]) -> Iterator[ClientEvent]:
+        """Anonymize a stream of events."""
+        for event in events:
+            yield self.event(event)

@@ -1,0 +1,176 @@
+"""The automatically-generated client event catalog (§4.3).
+
+"We have written an automatically-generated event catalog and browsing
+interface which is coupled to the daily job of building the client event
+dictionary. The interface lets users browse and search through the client
+events in a variety of ways: hierarchically, by each of the namespace
+components, and using regular expressions. For each event, the interface
+provides a few illustrative examples of the complete Thrift structure ...
+Finally, the interface allows developers to manually attach descriptions
+to the event types. Since the event catalog is rebuilt every day, it is
+always up to date."
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.names import LEVELS, EventName, EventPattern
+
+
+@dataclass
+class CatalogEntry:
+    """One event type as presented by the catalog."""
+
+    name: str
+    count: int
+    samples: List[dict] = field(default_factory=list)
+    description: Optional[str] = None
+    #: Inferred event-details schema lines (see
+    #: :mod:`repro.core.details_schema`), filling §4.3's open question
+    #: about which detail keys are obligatory/optional and their ranges.
+    details_schema: List[str] = field(default_factory=list)
+
+    @property
+    def parsed(self) -> EventName:
+        """The entry's event name parsed into its six components."""
+        return EventName.parse(self.name)
+
+
+class ClientEventCatalog:
+    """Browsable, searchable view over one day's event universe.
+
+    Descriptions are the only manually-curated part; they survive rebuilds
+    via :meth:`carry_descriptions_from`, mirroring how developer-supplied
+    notes persist across the daily regeneration.
+    """
+
+    def __init__(self, counts: Mapping[str, int],
+                 samples: Optional[Mapping[str, List[dict]]] = None) -> None:
+        samples = samples or {}
+        self._entries: Dict[str, CatalogEntry] = {
+            name: CatalogEntry(name=name, count=count,
+                               samples=list(samples.get(name, [])))
+            for name, count in counts.items()
+        }
+
+    # -- access ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The entry for one event name (KeyError if absent)."""
+        try:
+            return self._entries[name]
+        except KeyError as exc:
+            raise KeyError(f"no such event in catalog: {name!r}") from exc
+
+    def entries(self) -> List[CatalogEntry]:
+        """All entries, most frequent first."""
+        return sorted(self._entries.values(),
+                      key=lambda e: (-e.count, e.name))
+
+    # -- browsing ----------------------------------------------------------
+    def browse(self, *prefix: str) -> Dict[str, int]:
+        """Hierarchical browsing: distinct next-level components under a
+        component prefix, with their aggregate event counts.
+
+        ``catalog.browse()`` lists clients; ``catalog.browse("web")``
+        lists pages of the web client; and so on down the six levels.
+        """
+        depth = len(prefix)
+        if depth >= len(LEVELS):
+            raise ValueError("cannot browse below the action level")
+        counts: Counter = Counter()
+        for entry in self._entries.values():
+            components = entry.parsed.components
+            if components[:depth] == tuple(prefix):
+                counts[components[depth]] += entry.count
+        return dict(counts)
+
+    def by_component(self, level: str, value: str) -> List[CatalogEntry]:
+        """All entries whose ``level`` component equals ``value``."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {LEVELS}")
+        index = LEVELS.index(level)
+        return [entry for entry in self.entries()
+                if entry.parsed.components[index] == value]
+
+    # -- searching -------------------------------------------------------
+    def search(self, pattern: str) -> List[CatalogEntry]:
+        """Wildcard-pattern search (``web:home:*``, ``*:profile_click``)."""
+        matcher = EventPattern(pattern)
+        return [entry for entry in self.entries() if matcher.matches(entry.name)]
+
+    def search_regex(self, regex: str) -> List[CatalogEntry]:
+        """Raw regular-expression search over full event names."""
+        compiled = re.compile(regex)
+        return [entry for entry in self.entries()
+                if compiled.search(entry.name)]
+
+    # -- curation ----------------------------------------------------------
+    def describe(self, name: str, description: str) -> None:
+        """Attach a developer-supplied description to an event type."""
+        self.entry(name).description = description
+
+    def carry_descriptions_from(self, previous: "ClientEventCatalog") -> int:
+        """Copy descriptions from yesterday's catalog; returns how many."""
+        carried = 0
+        for name, entry in self._entries.items():
+            old = previous._entries.get(name)
+            if old is not None and old.description and not entry.description:
+                entry.description = old.description
+                carried += 1
+        return carried
+
+    def undocumented(self) -> List[str]:
+        """Event names still lacking a description, most frequent first."""
+        return [e.name for e in self.entries() if not e.description]
+
+    def attach_details_schemas(self, inferencer) -> int:
+        """Attach inferred event-details schemas from a
+        :class:`repro.core.details_schema.DetailsSchemaInferencer`;
+        returns how many entries gained a schema."""
+        attached = 0
+        for name in inferencer.event_names():
+            entry = self._entries.get(name)
+            if entry is not None:
+                entry.details_schema = inferencer.schema_for(
+                    name).describe()
+                attached += 1
+        return attached
+
+    # -- persistence ---------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the catalog (counts, samples, descriptions, schemas)."""
+        payload = {
+            name: {
+                "count": entry.count,
+                "samples": entry.samples,
+                "description": entry.description,
+                "details_schema": entry.details_schema,
+            }
+            for name, entry in self._entries.items()
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ClientEventCatalog":
+        """Inverse of :meth:`to_bytes`."""
+        payload = json.loads(data.decode("utf-8"))
+        catalog = cls({name: item["count"] for name, item in payload.items()},
+                      {name: item["samples"] for name, item in payload.items()})
+        for name, item in payload.items():
+            if item.get("description"):
+                catalog._entries[name].description = item["description"]
+            if item.get("details_schema"):
+                catalog._entries[name].details_schema = \
+                    item["details_schema"]
+        return catalog

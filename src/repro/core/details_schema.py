@@ -1,0 +1,172 @@
+"""Inference of event-details schemas from raw logs (§4.3's open item).
+
+"The only remaining issue ... is that without additional documentation,
+in some cases it is difficult to fully understand the semantics of event
+details with sample messages alone. For example: Which keys are always
+present? Which are optional? What are the ranges for values of each key?
+In principle, it may be possible to infer from the raw logs themselves,
+but we have not implemented this functionality yet."
+
+We implement it: a pass over client events produces, per event type, a
+profile of each ``event_details`` key -- presence (obligatory/optional),
+inferred value type (int-like, float-like, url, token, text), and value
+range or cardinality. The catalog attaches these profiles next to the
+sampled messages.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.event import ClientEvent
+
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+$")
+_URL_RE = re.compile(r"^https?://")
+_TOKEN_RE = re.compile(r"^[\w.\-]+$")
+
+
+def classify_value(value: str) -> str:
+    """Best-effort type tag for one details value (all values are
+    strings on the wire; semantics must be inferred)."""
+    if _INT_RE.match(value):
+        return "int"
+    if _FLOAT_RE.match(value):
+        return "float"
+    if _URL_RE.match(value):
+        return "url"
+    if _TOKEN_RE.match(value):
+        return "token"
+    return "text"
+
+
+@dataclass
+class KeySchema:
+    """What we learned about one details key of one event type."""
+
+    key: str
+    occurrences: int = 0
+    type_counts: Counter = field(default_factory=Counter)
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+    distinct_values: set = field(default_factory=set)
+    _distinct_cap: int = 50
+
+    def observe(self, value: str) -> None:
+        """Fold one observed value into the key's profile."""
+        self.occurrences += 1
+        kind = classify_value(value)
+        self.type_counts[kind] += 1
+        if kind in ("int", "float"):
+            number = float(value)
+            self.numeric_min = (number if self.numeric_min is None
+                                else min(self.numeric_min, number))
+            self.numeric_max = (number if self.numeric_max is None
+                                else max(self.numeric_max, number))
+        if len(self.distinct_values) < self._distinct_cap:
+            self.distinct_values.add(value)
+
+    @property
+    def dominant_type(self) -> str:
+        """The most frequently inferred value type for this key."""
+        return self.type_counts.most_common(1)[0][0]
+
+    @property
+    def looks_categorical(self) -> bool:
+        """Few distinct values despite many observations."""
+        return (self.occurrences >= 20
+                and len(self.distinct_values) < self._distinct_cap
+                and len(self.distinct_values) <= self.occurrences // 10)
+
+    def value_range(self) -> Optional[Tuple[float, float]]:
+        """(min, max) over numeric values, or None if none seen."""
+        if self.numeric_min is None:
+            return None
+        return (self.numeric_min, self.numeric_max)
+
+
+@dataclass
+class EventDetailsSchema:
+    """The inferred schema of one event type's details map."""
+
+    event_name: str
+    events_seen: int = 0
+    keys: Dict[str, KeySchema] = field(default_factory=dict)
+
+    def observe(self, details: Dict[str, str]) -> None:
+        """Fold one event's details map into the schema."""
+        self.events_seen += 1
+        for key, value in details.items():
+            schema = self.keys.get(key)
+            if schema is None:
+                schema = self.keys[key] = KeySchema(key=key)
+            schema.observe(value)
+
+    def obligatory_keys(self) -> List[str]:
+        """Keys present in every observed event of this type."""
+        return sorted(key for key, schema in self.keys.items()
+                      if schema.occurrences == self.events_seen)
+
+    def optional_keys(self) -> List[str]:
+        """Keys present in only some events of this type."""
+        return sorted(key for key, schema in self.keys.items()
+                      if schema.occurrences < self.events_seen)
+
+    def describe(self) -> List[str]:
+        """Human-readable schema lines for the catalog."""
+        lines = []
+        for key in sorted(self.keys):
+            schema = self.keys[key]
+            presence = ("obligatory"
+                        if schema.occurrences == self.events_seen
+                        else f"optional "
+                             f"({schema.occurrences}/{self.events_seen})")
+            parts = [f"{key}: {schema.dominant_type}", presence]
+            value_range = schema.value_range()
+            if value_range is not None:
+                low, high = value_range
+                parts.append(f"range [{low:g}, {high:g}]")
+            if schema.looks_categorical:
+                values = sorted(schema.distinct_values)[:6]
+                parts.append(f"values {{{', '.join(values)}}}")
+            lines.append("  ".join(parts))
+        return lines
+
+
+class DetailsSchemaInferencer:
+    """The §4.3 missing pass: infer all event types' details schemas."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, EventDetailsSchema] = {}
+
+    def observe(self, event: ClientEvent) -> None:
+        """Fold one client event into its type's schema."""
+        schema = self._schemas.get(event.event_name)
+        if schema is None:
+            schema = self._schemas[event.event_name] = EventDetailsSchema(
+                event_name=event.event_name)
+        schema.observe(event.event_details or {})
+
+    def observe_all(self,
+                    events: Iterable[ClientEvent]) -> "DetailsSchemaInferencer":
+        """Fold a stream of events; returns self for chaining."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    def schema_for(self, event_name: str) -> EventDetailsSchema:
+        """The inferred schema of one event type (KeyError if unseen)."""
+        try:
+            return self._schemas[event_name]
+        except KeyError as exc:
+            raise KeyError(f"no events observed for {event_name!r}") from exc
+
+    def event_names(self) -> List[str]:
+        """Event types observed so far, sorted."""
+        return sorted(self._schemas)
+
+    def __len__(self) -> int:
+        return len(self._schemas)

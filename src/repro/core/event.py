@@ -1,0 +1,132 @@
+"""The unified client event message (Table 2).
+
+A client event is a Thrift structure with:
+
+==================  =========================================
+event_initiator     {client, server} x {user, app}
+event_name          the six-level event name
+user_id             user id
+session_id          session id (browser cookie or similar)
+ip                  user's IP address
+timestamp           event timestamp (ms, logical clock)
+event_details       event-specific key-value pairs
+==================  =========================================
+
+"All client events contain fields for user id, session id and IP address
+... Since every client event has these fields, with exactly the same
+semantics, a simple group-by suffices to accurately reconstruct user
+sessions." The ``event_details`` map is the extension point teams populate
+"as they see fit ... without any central coordination".
+
+``country`` and ``logged_in`` are later optional additions (field ids 8-9)
+used by the automatic rollups ("further broken down by country and logged
+in/logged out status") -- and they double as a live demonstration of
+Thrift schema evolution: readers compiled against the original seven
+fields skip them transparently.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.core.names import EventName
+from repro.thriftlike.struct import ThriftStruct
+from repro.thriftlike.types import FieldSpec, TType, elem
+
+
+class EventInitiator(enum.IntEnum):
+    """Who triggered the event and where (§3.2, Table 2)."""
+
+    CLIENT_USER = 0
+    CLIENT_APP = 1
+    SERVER_USER = 2
+    SERVER_APP = 3
+
+    @property
+    def side(self) -> str:
+        """``client`` or ``server``."""
+        return "client" if self in (self.CLIENT_USER, self.CLIENT_APP) else "server"
+
+    @property
+    def trigger(self) -> str:
+        """``user`` or ``app``."""
+        return "user" if self in (self.CLIENT_USER, self.SERVER_USER) else "app"
+
+
+class ClientEvent(ThriftStruct):
+    """One unified log message."""
+
+    FIELDS = (
+        FieldSpec(1, "event_initiator", TType.I32, required=True,
+                  default=int(EventInitiator.CLIENT_USER)),
+        FieldSpec(2, "event_name", TType.STRING, required=True),
+        FieldSpec(3, "user_id", TType.I64, required=True),
+        FieldSpec(4, "session_id", TType.STRING, required=True),
+        FieldSpec(5, "ip", TType.STRING, required=True),
+        FieldSpec(6, "timestamp", TType.I64, required=True),
+        FieldSpec(7, "event_details", TType.MAP,
+                  key=elem(TType.STRING), value=elem(TType.STRING),
+                  default=dict),
+        # Later additions (schema evolution in action):
+        FieldSpec(8, "country", TType.STRING),
+        FieldSpec(9, "logged_in", TType.BOOL),
+    )
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def name(self) -> EventName:
+        """The parsed six-level event name."""
+        return EventName.parse(self.event_name)
+
+    @property
+    def initiator(self) -> EventInitiator:
+        """The event initiator as an :class:`EventInitiator`."""
+        return EventInitiator(self.event_initiator)
+
+    @property
+    def client(self) -> str:
+        """First component of the event name (web, iphone, android, ...)."""
+        return self.event_name.split(":", 1)[0]
+
+    @classmethod
+    def make(cls, name, user_id: int, session_id: str, ip: str,
+             timestamp: int,
+             initiator: EventInitiator = EventInitiator.CLIENT_USER,
+             details: Optional[Dict[str, str]] = None,
+             country: Optional[str] = None,
+             logged_in: Optional[bool] = None) -> "ClientEvent":
+        """Build a validated event from an :class:`EventName` or string."""
+        if isinstance(name, str):
+            name = EventName.parse(name)  # validates the six-level scheme
+        event = cls(
+            event_initiator=int(initiator),
+            event_name=str(name),
+            user_id=user_id,
+            session_id=session_id,
+            ip=ip,
+            timestamp=timestamp,
+            event_details=dict(details or {}),
+            country=country,
+            logged_in=logged_in,
+        )
+        event.validate()
+        return event
+
+
+class ClientEventV1(ThriftStruct):
+    """The original seven-field schema, kept for evolution tests.
+
+    A reader using this class accepts bytes produced by :class:`ClientEvent`
+    writers (skipping fields 8-9), and bytes it produces are readable by
+    :class:`ClientEvent` (fields 8-9 default to None): both directions of
+    the compatibility the paper's logging pipeline depends on.
+    """
+
+    FIELDS = ClientEvent.FIELDS[:7]
+
+
+#: Scribe category all unified logs are written to -- "log messages are
+#: stored in a single place (as opposed to different Scribe category silos
+#: with application-specific logging)".
+CLIENT_EVENTS_CATEGORY = "client_events"

@@ -1,0 +1,157 @@
+"""The six-level hierarchical client event namespace (Table 1).
+
+Every event name has exactly six colon-separated components::
+
+    client : page : section : component : element : action
+
+e.g. ``web:home:mentions:stream:avatar:profile_click`` is "an image profile
+click on the avatar of a tweet in the mentions timeline for a user on
+twitter.com (reading the event name from right to left)".
+
+Components are consistent lowercase (the paper's fix for "the dreaded
+camel_Snake"); a component may be empty when a level does not apply (e.g.
+a page without multiple sections). Patterns use ``*`` per component for
+slice-and-dice, e.g. ``web:home:mentions:*`` (a prefix pattern) or
+``*:profile_click`` (a suffix pattern): exactly the two forms §3.2 shows.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+LEVELS = ("client", "page", "section", "component", "element", "action")
+NUM_LEVELS = len(LEVELS)
+
+_COMPONENT_RE = re.compile(r"^[a-z0-9_]*$")
+
+
+class InvalidEventNameError(ValueError):
+    """Raised for names violating the six-level lowercase scheme."""
+
+
+@dataclass(frozen=True, order=True)
+class EventName:
+    """One fully-qualified client event name."""
+
+    client: str
+    page: str
+    section: str
+    component: str
+    element: str
+    action: str
+
+    def __post_init__(self) -> None:
+        for level, value in zip(LEVELS, self.components):
+            if not _COMPONENT_RE.match(value):
+                raise InvalidEventNameError(
+                    f"{level} component {value!r} must be lowercase "
+                    f"[a-z0-9_]* (consistent naming, §3.2)"
+                )
+        if not self.client:
+            raise InvalidEventNameError("client component must be non-empty")
+        if not self.action:
+            raise InvalidEventNameError("action component must be non-empty")
+
+    @property
+    def components(self) -> Tuple[str, str, str, str, str, str]:
+        """The six components as a tuple, in namespace order."""
+        return (self.client, self.page, self.section, self.component,
+                self.element, self.action)
+
+    def __str__(self) -> str:
+        return ":".join(self.components)
+
+    @classmethod
+    def parse(cls, text: str) -> "EventName":
+        """Parse ``client:page:section:component:element:action``."""
+        parts = text.split(":")
+        if len(parts) != NUM_LEVELS:
+            raise InvalidEventNameError(
+                f"event name must have exactly {NUM_LEVELS} components, "
+                f"got {len(parts)}: {text!r}"
+            )
+        return cls(*parts)
+
+    @classmethod
+    def of(cls, *components: str) -> "EventName":
+        """Build from up to six components; missing ones default empty
+        except action, which must be given last."""
+        if len(components) != NUM_LEVELS:
+            raise InvalidEventNameError(
+                f"of() requires {NUM_LEVELS} components, got {len(components)}"
+            )
+        return cls(*components)
+
+    # -- rollup support (§3.2) -------------------------------------------
+    def rollup(self, keep: int) -> Tuple[str, ...]:
+        """Generalize to a rollup key keeping the first ``keep`` components
+        and the action: the shape of the five aggregation schemas.
+
+        ``keep=5`` → (client, page, section, component, element, action)
+        ``keep=4`` → (client, page, section, component, *, action)
+        ...
+        ``keep=1`` → (client, *, *, *, *, action)
+        """
+        if not 1 <= keep <= 5:
+            raise ValueError("keep must be in [1, 5]")
+        head = self.components[:keep]
+        stars = ("*",) * (5 - keep)
+        return head + stars + (self.action,)
+
+
+class EventPattern:
+    """A component-wise wildcard pattern over event names.
+
+    Grammar: colon-separated components, each either a literal, ``*``, or
+    a partial glob like ``profile_*``. A pattern with fewer than six
+    components is *anchored at both ends flexibly*: ``web:home:mentions:*``
+    matches any name whose first components match and ``*:profile_click``
+    matches any name whose action matches -- the two idioms in §3.2.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        parts = pattern.split(":")
+        if len(parts) > NUM_LEVELS:
+            raise InvalidEventNameError(
+                f"pattern has more than {NUM_LEVELS} components: {pattern!r}"
+            )
+        if len(parts) < NUM_LEVELS:
+            if parts[0] == "*":
+                # Suffix form: *:action or *:element:action ...
+                parts = ["*"] * (NUM_LEVELS - (len(parts) - 1)) + parts[1:]
+            elif parts[-1] == "*":
+                # Prefix form: web:home:mentions:*
+                parts = parts[:-1] + ["*"] * (NUM_LEVELS - (len(parts) - 1))
+            else:
+                raise InvalidEventNameError(
+                    f"short pattern must start or end with '*': {pattern!r}"
+                )
+        self.parts = tuple(parts)
+        self._regex = re.compile(
+            "^" + ":".join(_component_regex(p) for p in self.parts) + "$"
+        )
+
+    def matches(self, name) -> bool:
+        """True when the pattern matches a name (EventName or str)."""
+        return bool(self._regex.match(str(name)))
+
+    def filter(self, names: Iterable) -> List:
+        """Subset of ``names`` matching the pattern, preserving order."""
+        return [n for n in names if self.matches(n)]
+
+    def __repr__(self) -> str:
+        return f"EventPattern({self.pattern!r})"
+
+
+def _component_regex(component: str) -> str:
+    if component == "*":
+        return "[a-z0-9_]*"
+    return re.escape(component).replace(r"\*", "[a-z0-9_]*")
+
+
+def match_names(pattern: str, names: Iterable) -> List:
+    """Convenience: filter ``names`` by a pattern string."""
+    return EventPattern(pattern).filter(names)

@@ -1,0 +1,141 @@
+"""View-hierarchy ↔ event-name correspondence (§3.2).
+
+"In the case of the main web client ... the namespace corresponds to the
+page's DOM structure, making it possible to automatically generate event
+names and thereby enforce consistent naming. This makes it possible to
+perform a reverse mapping also; that is, given only the event name, we can
+easily figure out based on the DOM where that event was triggered."
+
+A :class:`ViewHierarchy` models one client's UI as a tree of pages,
+sections, components, and elements; :meth:`event_name` generates names
+from a node path plus an action, and :meth:`locate` reverse-maps a name
+back to the node that triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.names import EventName
+
+
+class UnknownViewError(KeyError):
+    """Raised when a name does not correspond to any node in the hierarchy."""
+
+
+@dataclass
+class ViewNode:
+    """One node in a client's view hierarchy."""
+
+    name: str
+    kind: str  # "page" | "section" | "component" | "element"
+    children: Dict[str, "ViewNode"] = field(default_factory=dict)
+    actions: List[str] = field(default_factory=list)
+
+    def child(self, name: str) -> "ViewNode":
+        """The child node named ``name`` (UnknownViewError if absent)."""
+        try:
+            return self.children[name]
+        except KeyError as exc:
+            raise UnknownViewError(
+                f"{self.kind} {self.name!r} has no child {name!r}"
+            ) from exc
+
+
+_KINDS = ("page", "section", "component", "element")
+
+
+class ViewHierarchy:
+    """The UI tree of one client (web, iphone, android, ...).
+
+    Built declaratively from nested dicts, e.g.::
+
+        ViewHierarchy("web", {
+            "home": {
+                "mentions": {
+                    "stream": {
+                        "avatar": ["profile_click", "impression"],
+                        "tweet": ["click", "impression"],
+                    },
+                },
+            },
+        })
+
+    Levels may be skipped with the empty-string key, matching the paper's
+    note that "if a page doesn't have multiple sections, the section
+    component is simply empty".
+    """
+
+    def __init__(self, client: str, tree: Dict) -> None:
+        self.client = client
+        self.root = ViewNode(name=client, kind="client")
+        self._build(self.root, tree, depth=0)
+
+    def _build(self, node: ViewNode, spec, depth: int) -> None:
+        if isinstance(spec, dict):
+            if depth >= len(_KINDS):
+                raise ValueError("view hierarchy deeper than six levels")
+            for name, child_spec in spec.items():
+                child = ViewNode(name=name, kind=_KINDS[depth])
+                node.children[name] = child
+                self._build(child, child_spec, depth + 1)
+        elif isinstance(spec, (list, tuple)):
+            # Leaf: remaining levels are empty; these are the actions.
+            node.actions = list(spec)
+        else:
+            raise TypeError(f"invalid hierarchy spec at {node.name!r}: {spec!r}")
+
+    # -- forward mapping --------------------------------------------------
+    def event_name(self, path: Sequence[str], action: str) -> EventName:
+        """Generate the event name for an action on the node at ``path``.
+
+        ``path`` lists the non-empty levels below the client; shorter
+        paths leave deeper components empty.
+        """
+        node = self.root
+        for part in path:
+            node = node.child(part)
+        if node.actions and action not in node.actions:
+            raise UnknownViewError(
+                f"node {'/'.join(path)!r} does not emit action {action!r}"
+            )
+        padded = list(path) + [""] * (len(_KINDS) - len(path))
+        return EventName(self.client, *padded, action)
+
+    def all_event_names(self) -> List[EventName]:
+        """Every event name this client can emit, sorted."""
+        names: List[EventName] = []
+
+        def walk(node: ViewNode, path: Tuple[str, ...]) -> None:
+            for action in node.actions:
+                padded = list(path) + [""] * (len(_KINDS) - len(path))
+                names.append(EventName(self.client, *padded, action))
+            for child in node.children.values():
+                walk(child, path + (child.name,))
+
+        walk(self.root, ())
+        return sorted(names)
+
+    # -- reverse mapping --------------------------------------------------
+    def locate(self, name: EventName) -> ViewNode:
+        """Reverse-map an event name to the view node that triggered it."""
+        if name.client != self.client:
+            raise UnknownViewError(
+                f"event client {name.client!r} != hierarchy {self.client!r}"
+            )
+        node = self.root
+        for part in (name.page, name.section, name.component, name.element):
+            # An empty component either names an explicit empty-named level
+            # (a page with no sections) or marks the end of the path.
+            if not part and part not in node.children:
+                break
+            node = node.child(part)
+        if node.actions and name.action not in node.actions:
+            raise UnknownViewError(
+                f"{node.kind} {node.name!r} does not emit {name.action!r}"
+            )
+        return node
+
+    def __repr__(self) -> str:
+        return f"ViewHierarchy(client={self.client!r})"

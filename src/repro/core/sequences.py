@@ -1,0 +1,68 @@
+"""Materialized session sequences (§4.2).
+
+"The following relation is materialized on HDFS (slightly simplified):
+
+    user_id: long, session_id: string, ip: string,
+    session_sequence: string, duration: int
+
+... a session sequence is simply a unicode string that captures the names
+of the client events that comprise the session in a compact manner ...
+other than the overall session duration, session sequences do not
+preserve any temporal information about the events (other than relative
+ordering)."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.dictionary import EventDictionary
+from repro.core.sessionizer import Session
+from repro.thriftlike.struct import ThriftStruct
+from repro.thriftlike.types import FieldSpec, TType
+
+
+class SessionSequenceRecord(ThriftStruct):
+    """One row of the session-sequence relation."""
+
+    FIELDS = (
+        FieldSpec(1, "user_id", TType.I64, required=True),
+        FieldSpec(2, "session_id", TType.STRING, required=True),
+        FieldSpec(3, "ip", TType.STRING, required=True),
+        FieldSpec(4, "session_sequence", TType.STRING, required=True),
+        FieldSpec(5, "duration", TType.I32, required=True),  # seconds
+    )
+
+    @classmethod
+    def from_session(cls, session: Session,
+                     dictionary: EventDictionary) -> "SessionSequenceRecord":
+        """Encode one reconstructed session using the event dictionary."""
+        return cls(
+            user_id=session.user_id,
+            session_id=session.session_id,
+            ip=session.ip,
+            session_sequence=dictionary.encode(session.event_names),
+            duration=session.duration_seconds,
+        )
+
+    # -- accessors ---------------------------------------------------------
+    def event_names(self, dictionary: EventDictionary) -> List[str]:
+        """Decode the sequence back to event names."""
+        return dictionary.decode(self.session_sequence)
+
+    def client(self, dictionary: EventDictionary) -> Optional[str]:
+        """Client type of the session (from its first event name)."""
+        if not self.session_sequence:
+            return None
+        first = dictionary.name_for(ord(self.session_sequence[0]))
+        return first.split(":", 1)[0]
+
+    @property
+    def num_events(self) -> int:
+        """Events in the session (one symbol each)."""
+        return len(self.session_sequence)
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Physical UTF-8 size of the sequence (what §4.2's coding saves)."""
+        return len(self.session_sequence.encode("utf-8"))

@@ -1,0 +1,21 @@
+"""Elephant Twin: InputFormat-level indexing with selection pushdown."""
+
+from repro.elephanttwin.index import (
+    INDEX_FILE,
+    BlockIndex,
+    Indexer,
+    event_name_terms,
+)
+from repro.elephanttwin.inputformat import (
+    IndexedEventsLoader,
+    IndexedInputFormat,
+)
+
+__all__ = [
+    "INDEX_FILE",
+    "BlockIndex",
+    "Indexer",
+    "event_name_terms",
+    "IndexedEventsLoader",
+    "IndexedInputFormat",
+]

@@ -1,0 +1,45 @@
+"""Compression codecs for simulated HDFS files.
+
+Aggregators "compress data on the fly" when writing to staging HDFS (§2).
+We provide a small codec registry; ``zlib`` stands in for the LZO codec the
+real stack used (same role: block-level general-purpose compression).
+"""
+
+from __future__ import annotations
+
+import bz2
+import zlib
+from typing import Callable, Dict, Tuple
+
+
+class CodecError(Exception):
+    """Raised for unknown codec names."""
+
+
+_CODECS: Dict[str, Tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]] = {
+    "none": (lambda data: data, lambda data: data),
+    "zlib": (lambda data: zlib.compress(data, 6), zlib.decompress),
+    "zlib-fast": (lambda data: zlib.compress(data, 1), zlib.decompress),
+    "bz2": (lambda data: bz2.compress(data, 9), bz2.decompress),
+}
+
+
+def compress(codec: str, data: bytes) -> bytes:
+    """Compress ``data`` with the named codec."""
+    try:
+        return _CODECS[codec][0](data)
+    except KeyError as exc:
+        raise CodecError(f"unknown codec {codec!r}") from exc
+
+
+def decompress(codec: str, data: bytes) -> bytes:
+    """Decompress ``data`` with the named codec."""
+    try:
+        return _CODECS[codec][1](data)
+    except KeyError as exc:
+        raise CodecError(f"unknown codec {codec!r}") from exc
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Names of registered codecs."""
+    return tuple(sorted(_CODECS))

@@ -1,0 +1,322 @@
+"""An in-memory HDFS: hierarchical namespace, block-structured files.
+
+The properties that matter for reproducing the paper's evaluation are kept
+faithful:
+
+- files are split into fixed-size blocks, and the number of blocks drives
+  the number of map tasks a job spawns (the "tens of thousands of mappers"
+  problem of §4.1);
+- directories support atomic rename, which the log mover relies on to
+  "atomically slide an hour's worth of logs into the main data warehouse";
+- files may be written with a compression codec, and readers decompress
+  transparently while block accounting stays in *stored* (compressed)
+  bytes, matching how scan cost behaves on a real cluster.
+
+Availability/outage simulation: :meth:`HDFS.set_available` lets tests and
+benchmarks inject HDFS outages; writes during an outage raise
+:class:`HDFSUnavailableError`, which Scribe aggregators respond to by
+buffering on local disk (§2).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hdfs.codecs import compress, decompress
+
+
+class HDFSError(Exception):
+    """Base error for filesystem operations."""
+
+
+class FileNotFound(HDFSError):
+    """Raised when a path does not name an existing file."""
+
+
+class FileExistsError_(HDFSError):
+    """Raised when creating over an existing path."""
+
+
+class HDFSUnavailableError(HDFSError):
+    """Raised when the filesystem is in a simulated outage."""
+
+
+DEFAULT_BLOCK_SIZE = 64 * 1024  # scaled-down stand-in for 64/128 MB blocks
+
+
+def normalize(path: str) -> str:
+    """Normalize to an absolute, slash-separated path."""
+    if not path.startswith("/"):
+        path = "/" + path
+    norm = posixpath.normpath(path)
+    return norm
+
+
+@dataclass
+class FileStatus:
+    """Metadata returned by :meth:`HDFS.status`."""
+
+    path: str
+    is_dir: bool
+    length: int = 0
+    block_count: int = 0
+    codec: str = "none"
+
+
+@dataclass
+class _File:
+    data: bytes
+    codec: str
+    block_size: int
+
+    @property
+    def block_count(self) -> int:
+        if not self.data:
+            return 1
+        return -(-len(self.data) // self.block_size)
+
+    def blocks(self) -> List[bytes]:
+        if not self.data:
+            return [b""]
+        size = self.block_size
+        return [self.data[i:i + size] for i in range(0, len(self.data), size)]
+
+
+class HDFS:
+    """A single-namespace in-memory filesystem.
+
+    Paths are POSIX-style absolute strings. Directories are implicit on
+    file creation (like HDFS's ``create`` with parent creation) but can
+    also be made explicitly so empty directories can exist.
+    """
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                 name: str = "hdfs") -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.name = name
+        self.block_size = block_size
+        self._files: Dict[str, _File] = {}
+        self._dirs = {"/"}
+        self._available = True
+        # Accounting used by benchmarks: total bytes ever written/read.
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- availability --------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """False during a simulated outage."""
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        """Inject or clear a simulated outage."""
+        self._available = available
+
+    def _check_up(self) -> None:
+        if not self._available:
+            raise HDFSUnavailableError(f"{self.name} is unavailable")
+
+    # -- namespace -------------------------------------------------------
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and all parents (idempotent)."""
+        self._check_up()
+        path = normalize(path)
+        if path in self._files:
+            raise FileExistsError_(f"{path} exists as a file")
+        while path != "/":
+            self._dirs.add(path)
+            path = posixpath.dirname(path)
+
+    def exists(self, path: str) -> bool:
+        """True if the path names a file or directory."""
+        path = normalize(path)
+        return path in self._files or path in self._dirs
+
+    def is_dir(self, path: str) -> bool:
+        """True if the path names a directory."""
+        return normalize(path) in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        """True if the path names a file."""
+        return normalize(path) in self._files
+
+    def listdir(self, path: str) -> List[str]:
+        """Immediate children names of a directory, sorted."""
+        path = normalize(path)
+        if path not in self._dirs:
+            raise FileNotFound(f"no such directory: {path}")
+        prefix = path if path.endswith("/") else path + "/"
+        children = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                rest = candidate[len(prefix):]
+                children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    def glob_files(self, prefix: str) -> List[str]:
+        """All file paths beginning with ``prefix``, sorted."""
+        prefix = normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def status(self, path: str) -> FileStatus:
+        """Metadata for a file or directory (FileNotFound if absent)."""
+        path = normalize(path)
+        if path in self._files:
+            fobj = self._files[path]
+            return FileStatus(path=path, is_dir=False, length=len(fobj.data),
+                              block_count=fobj.block_count, codec=fobj.codec)
+        if path in self._dirs:
+            return FileStatus(path=path, is_dir=True)
+        raise FileNotFound(f"no such path: {path}")
+
+    # -- file I/O ----------------------------------------------------------
+    def create(self, path: str, data: bytes, codec: str = "none",
+               overwrite: bool = False) -> FileStatus:
+        """Write ``data`` (compressing with ``codec``) as a new file."""
+        self._check_up()
+        path = normalize(path)
+        if path in self._dirs:
+            raise FileExistsError_(f"{path} exists as a directory")
+        if path in self._files and not overwrite:
+            raise FileExistsError_(f"{path} already exists")
+        stored = compress(codec, data)
+        self.mkdirs(posixpath.dirname(path))
+        self._files[path] = _File(data=stored, codec=codec,
+                                  block_size=self.block_size)
+        self.bytes_written += len(stored)
+        return self.status(path)
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append raw bytes to an uncompressed file (creates if missing)."""
+        self._check_up()
+        path = normalize(path)
+        fobj = self._files.get(path)
+        if fobj is None:
+            self.create(path, data)
+            return
+        if fobj.codec != "none":
+            raise HDFSError(f"cannot append to compressed file {path}")
+        fobj.data += data
+        self.bytes_written += len(data)
+
+    def open_bytes(self, path: str) -> bytes:
+        """Read and transparently decompress a file."""
+        path = normalize(path)
+        fobj = self._files.get(path)
+        if fobj is None:
+            raise FileNotFound(f"no such file: {path}")
+        self.bytes_read += len(fobj.data)
+        return decompress(fobj.codec, fobj.data)
+
+    def stored_bytes(self, path: str) -> int:
+        """On-disk (post-compression) size of a file."""
+        path = normalize(path)
+        fobj = self._files.get(path)
+        if fobj is None:
+            raise FileNotFound(f"no such file: {path}")
+        return len(fobj.data)
+
+    def blocks(self, path: str) -> List[bytes]:
+        """Stored (compressed) blocks of a file, for input-split planning."""
+        path = normalize(path)
+        fobj = self._files.get(path)
+        if fobj is None:
+            raise FileNotFound(f"no such file: {path}")
+        return fobj.blocks()
+
+    def codec_of(self, path: str) -> str:
+        """The compression codec a file was written with."""
+        path = normalize(path)
+        fobj = self._files.get(path)
+        if fobj is None:
+            raise FileNotFound(f"no such file: {path}")
+        return fobj.codec
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        """Delete a file or directory tree; returns whether anything went."""
+        self._check_up()
+        path = normalize(path)
+        if path in self._files:
+            del self._files[path]
+            return True
+        if path in self._dirs:
+            prefix = path if path.endswith("/") else path + "/"
+            nested_files = [p for p in self._files if p.startswith(prefix)]
+            nested_dirs = [d for d in self._dirs if d.startswith(prefix)]
+            if (nested_files or nested_dirs) and not recursive:
+                raise HDFSError(f"directory not empty: {path}")
+            for p in nested_files:
+                del self._files[p]
+            for d in nested_dirs:
+                self._dirs.discard(d)
+            if path != "/":
+                self._dirs.discard(path)
+            return True
+        return False
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically rename a file or directory tree.
+
+        This is the primitive the log mover uses to publish an hour of
+        logs all-or-nothing: readers either see the whole directory at the
+        destination or nothing.
+        """
+        self._check_up()
+        src = normalize(src)
+        dst = normalize(dst)
+        if not self.exists(src):
+            raise FileNotFound(f"no such path: {src}")
+        if self.exists(dst):
+            raise FileExistsError_(f"destination exists: {dst}")
+        if dst == src or dst.startswith(src.rstrip("/") + "/"):
+            raise HDFSError(
+                f"cannot rename {src} into itself ({dst})")
+        self.mkdirs(posixpath.dirname(dst))
+        if src in self._files:
+            self._files[dst] = self._files.pop(src)
+            return
+        prefix = src if src.endswith("/") else src + "/"
+        moves = [(p, dst + p[len(src):]) for p in list(self._files)
+                 if p.startswith(prefix)]
+        dir_moves = [(d, dst + d[len(src):]) for d in list(self._dirs)
+                     if d == src or d.startswith(prefix)]
+        for old, new in moves:
+            self._files[new] = self._files.pop(old)
+        for old, new in dir_moves:
+            self._dirs.discard(old)
+            self._dirs.add(new)
+        self.mkdirs(dst)
+
+    # -- aggregate accounting ----------------------------------------------
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        """Sum of stored bytes of all files under ``prefix``."""
+        prefix = normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sum(len(f.data) for p, f in self._files.items()
+                   if p.startswith(prefix) or p == prefix.rstrip("/"))
+
+    def total_block_count(self, prefix: str = "/") -> int:
+        """Sum of block counts of all files under ``prefix``."""
+        prefix = normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sum(f.block_count for p, f in self._files.items()
+                   if p.startswith(prefix) or p == prefix.rstrip("/"))
+
+    def file_count(self, prefix: str = "/") -> int:
+        """Number of files under ``prefix``."""
+        prefix = normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sum(1 for p in self._files
+                   if p.startswith(prefix) or p == prefix.rstrip("/"))
+
+    def __repr__(self) -> str:
+        return (f"HDFS(name={self.name!r}, files={len(self._files)}, "
+                f"block_size={self.block_size})")

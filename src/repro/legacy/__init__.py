@@ -1,0 +1,45 @@
+"""Application-specific logging baselines and their analysis pain."""
+
+from repro.legacy.formats import (
+    ALL_LOGGERS,
+    ApiErrorEvent,
+    ApiRequestEvent,
+    ApiThriftLogger,
+    LegacyRecord,
+    MobileTextLogger,
+    ParseError,
+    SearchTsvLogger,
+    WebJsonLogger,
+    route_logger,
+)
+from repro.legacy.scraper import (
+    KeyProfile,
+    ScrapeReport,
+    scrape_json,
+)
+from repro.legacy.joiner import (
+    LegacySession,
+    LegacySessionReconstructor,
+    ReconstructionStats,
+    pairwise_f1,
+)
+
+__all__ = [
+    "ALL_LOGGERS",
+    "ApiErrorEvent",
+    "ApiRequestEvent",
+    "ApiThriftLogger",
+    "LegacyRecord",
+    "MobileTextLogger",
+    "ParseError",
+    "SearchTsvLogger",
+    "WebJsonLogger",
+    "route_logger",
+    "KeyProfile",
+    "ScrapeReport",
+    "scrape_json",
+    "LegacySession",
+    "LegacySessionReconstructor",
+    "ReconstructionStats",
+    "pairwise_f1",
+]

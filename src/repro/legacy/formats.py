@@ -1,0 +1,298 @@
+"""Application-specific logging: the pre-unification baseline (§3.1).
+
+Each "application" logs the same underlying activity in its own format
+and its own Scribe category, reproducing the paper's catalog of pain:
+
+- :class:`WebJsonLogger` -- "frontend logs, which capture rich user
+  interactions ... in JSON format. These JSON structures are often nested
+  several layers deep"; camelCase field names; epoch-seconds floats.
+- :class:`SearchTsvLogger` -- delimited text with snake_case names,
+  tab-separation hazards, and ISO-ish local timestamps.
+- :class:`MobileTextLogger` -- "natural language" log lines where
+  "certain phrases serve as the delimiters"; sometimes omits the user id
+  ("assuming they were actually logged").
+- :class:`ApiThriftLogger` -- "a union of regular formats": one of two
+  Thrift structs per message.
+
+All four encode from the same ground-truth :class:`ClientEvent`, so the
+legacy pipeline's reconstruction quality can be scored against truth.
+None of them logs a session id -- the defining gap the unified format
+fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.event import ClientEvent
+from repro.scribe.message import LogEntry
+from repro.thriftlike.struct import ThriftStruct
+from repro.thriftlike.types import FieldSpec, TType
+
+
+@dataclass
+class LegacyRecord:
+    """The normalized view a data scientist extracts from one message.
+
+    ``user_id`` is None when the application failed to log it;
+    ``timestamp_ms`` is already converted to milliseconds (getting there
+    is each parser's burden -- "timestamps ... were captured in half a
+    dozen different ways").
+    """
+
+    category: str
+    user_id: Optional[int]
+    timestamp_ms: int
+    label: str
+
+
+class ParseError(Exception):
+    """Raised when a legacy message cannot be understood."""
+
+
+# ---------------------------------------------------------------------------
+# Web frontend: deeply nested JSON, camelCase, epoch seconds.
+# ---------------------------------------------------------------------------
+
+
+class WebJsonLogger:
+    """The frontend's JSON logging."""
+
+    category = "web_frontend"
+
+    def encode(self, event: ClientEvent) -> LogEntry:
+        """Log one event in the frontend's nested-JSON format."""
+        name = event.name
+        payload = {
+            "eventType": _camel(name.action),
+            "timestampSecs": event.timestamp / 1000.0,
+            "userId": event.user_id,
+            "context": {
+                "page": {"name": name.page, "section": name.section},
+                "widget": {
+                    "component": name.component,
+                    "element": name.element,
+                },
+                "interaction": {
+                    "details": dict(event.event_details),
+                },
+            },
+        }
+        return LogEntry(self.category,
+                        json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+    def parse(self, message: bytes) -> LegacyRecord:
+        """Extract the normalized record from one JSON message."""
+        try:
+            payload = json.loads(message.decode("utf-8"))
+            return LegacyRecord(
+                category=self.category,
+                user_id=payload["userId"],
+                timestamp_ms=int(payload["timestampSecs"] * 1000),
+                label=payload["eventType"],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ParseError(f"bad web_frontend message: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Search: tab-separated values, snake_case, "YYYY-MM-DD HH:MM:SS.mmm".
+# ---------------------------------------------------------------------------
+
+
+class SearchTsvLogger:
+    """The search service's delimited logging."""
+
+    category = "search_events"
+
+    def encode(self, event: ClientEvent) -> LogEntry:
+        """Log one event as tab-separated fields."""
+        name = event.name
+        # Tabs inside fields are the classic delimiter hazard; escape them
+        # the way the original service did (inconsistently enough that a
+        # wrong Pig delimiter setting "would yield ... complete garbage").
+        query = event.event_details.get("raw_query", "").replace("\t", " ")
+        fields = [
+            _format_legacy_time(event.timestamp),
+            str(event.user_id),
+            f"{name.page}.{name.action}",
+            query,
+        ]
+        return LogEntry(self.category, "\t".join(fields).encode("utf-8"))
+
+    def parse(self, message: bytes) -> LegacyRecord:
+        """Extract the normalized record from one TSV line."""
+        parts = message.decode("utf-8").split("\t")
+        if len(parts) != 4:
+            raise ParseError(
+                f"search_events expects 4 fields, got {len(parts)}"
+            )
+        try:
+            return LegacyRecord(
+                category=self.category,
+                user_id=int(parts[1]),
+                timestamp_ms=_parse_legacy_time(parts[0]),
+                label=parts[2],
+            )
+        except ValueError as exc:
+            raise ParseError(f"bad search_events message: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Mobile: "natural language" lines; user id occasionally missing.
+# ---------------------------------------------------------------------------
+
+
+class MobileTextLogger:
+    """The mobile clients' prose-style logging."""
+
+    category = "mobile_client"
+
+    def __init__(self, drop_user_id_rate: float = 0.08,
+                 seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._drop_rate = drop_user_id_rate
+
+    def encode(self, event: ClientEvent) -> LogEntry:
+        """Log one event as a natural-language line."""
+        name = event.name
+        if self._rng.random() < self._drop_rate:
+            who = "anonymous user"
+        else:
+            who = f"user {event.user_id}"
+        line = (f"{who} performed {name.action} on {name.element or 'screen'}"
+                f" in {name.page} at {event.timestamp}")
+        return LogEntry(self.category, line.encode("utf-8"))
+
+    def parse(self, message: bytes) -> LegacyRecord:
+        """Extract the normalized record from one prose line."""
+        text = message.decode("utf-8")
+        try:
+            before_at, after_at = text.rsplit(" at ", 1)
+            timestamp_ms = int(after_at)
+            who, rest = before_at.split(" performed ", 1)
+            action = rest.split(" on ", 1)[0]
+            user_id: Optional[int]
+            if who.startswith("user "):
+                user_id = int(who[len("user "):])
+            else:
+                user_id = None
+            return LegacyRecord(category=self.category, user_id=user_id,
+                                timestamp_ms=timestamp_ms, label=action)
+        except (ValueError, IndexError) as exc:
+            raise ParseError(f"bad mobile_client message: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# API: a union of two regular Thrift structs.
+# ---------------------------------------------------------------------------
+
+
+class ApiRequestEvent(ThriftStruct):
+    """One of the API service's two message shapes."""
+
+    FIELDS = (
+        FieldSpec(1, "uid", TType.I64, required=True),
+        FieldSpec(2, "ts_millis", TType.I64, required=True),
+        FieldSpec(3, "endpoint", TType.STRING, required=True),
+    )
+
+
+class ApiErrorEvent(ThriftStruct):
+    """The other shape (different fields, same category)."""
+
+    FIELDS = (
+        FieldSpec(1, "user", TType.I64, required=True),
+        FieldSpec(2, "when", TType.I64, required=True),
+        FieldSpec(3, "code", TType.I32, required=True),
+        FieldSpec(4, "what", TType.STRING),
+    )
+
+
+class ApiThriftLogger:
+    """Union-of-structs logging: each message is tagged with a type byte."""
+
+    category = "api_events"
+
+    def encode(self, event: ClientEvent) -> LogEntry:
+        """Log one event as a tagged union of two Thrift shapes."""
+        name = event.name
+        if name.action in ("click", "submit", "query"):
+            struct = ApiRequestEvent(uid=event.user_id,
+                                     ts_millis=event.timestamp,
+                                     endpoint=f"/{name.page}/{name.action}")
+            tag = b"R"
+        else:
+            struct = ApiErrorEvent(user=event.user_id, when=event.timestamp,
+                                   code=200, what=name.action)
+            tag = b"E"
+        return LogEntry(self.category, tag + struct.to_bytes())
+
+    def parse(self, message: bytes) -> LegacyRecord:
+        """Decode either union shape to the normalized record."""
+        if not message:
+            raise ParseError("empty api_events message")
+        tag, payload = message[:1], message[1:]
+        try:
+            if tag == b"R":
+                record = ApiRequestEvent.from_bytes(payload)
+                return LegacyRecord(category=self.category,
+                                    user_id=record.uid,
+                                    timestamp_ms=record.ts_millis,
+                                    label=record.endpoint)
+            if tag == b"E":
+                record = ApiErrorEvent.from_bytes(payload)
+                return LegacyRecord(category=self.category,
+                                    user_id=record.user,
+                                    timestamp_ms=record.when,
+                                    label=record.what or "error")
+        except Exception as exc:  # noqa: BLE001 - any decode failure
+            raise ParseError(f"bad api_events message: {exc}") from exc
+        raise ParseError(f"unknown api_events tag {tag!r}")
+
+
+ALL_LOGGERS = (WebJsonLogger, SearchTsvLogger, MobileTextLogger,
+               ApiThriftLogger)
+
+
+def route_logger(event: ClientEvent, loggers: Dict[str, object]):
+    """Pick which application would have logged this event.
+
+    Routing mirrors the silo structure: search events go to the search
+    service, mobile clients log their own way, everything web-side goes
+    through the frontend, and a slice of actions also hits the API logs.
+    """
+    name = event.name
+    if name.page == "search":
+        return loggers["search_events"]
+    if name.client in ("iphone", "android", "ipad"):
+        return loggers["mobile_client"]
+    if name.action in ("follow", "reply", "favorite"):
+        return loggers["api_events"]
+    return loggers["web_frontend"]
+
+
+def _camel(snake: str) -> str:
+    head, *rest = snake.split("_")
+    return head + "".join(part.capitalize() for part in rest)
+
+
+def _format_legacy_time(millis: int) -> str:
+    from datetime import timedelta
+
+    from repro.hdfs.layout import EPOCH
+
+    when = EPOCH + timedelta(milliseconds=millis)
+    return when.strftime("%Y-%m-%d %H:%M:%S.") + f"{when.microsecond // 1000:03d}"
+
+
+def _parse_legacy_time(text: str) -> int:
+    from datetime import datetime
+
+    from repro.hdfs.layout import EPOCH
+
+    when = datetime.strptime(text, "%Y-%m-%d %H:%M:%S.%f")
+    return int((when - EPOCH).total_seconds() * 1000)

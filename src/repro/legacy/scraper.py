@@ -1,0 +1,105 @@
+"""Key-value histogram scraping: format induction for opaque logs (§3.1).
+
+"engineers on the analytics team often had to ... induce the message
+format manually by writing Pig jobs that scraped large numbers of
+messages to produce key-value histograms."
+
+:func:`scrape_json` does exactly that for JSON messages: it flattens
+nested objects into dotted key paths and reports, per path, how often it
+appears, the value types seen, and a few example values -- enough to
+answer the questions the paper lists ("what fields are obligatory, what
+fields are optional? For each field, what is the type and range of
+values?").
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class KeyProfile:
+    """What the scraper learned about one (dotted) key path."""
+
+    path: str
+    occurrences: int = 0
+    type_counts: Counter = field(default_factory=Counter)
+    examples: List[Any] = field(default_factory=list)
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+
+    def observe(self, value: Any, max_examples: int) -> None:
+        """Fold one observed value into the key's profile."""
+        self.occurrences += 1
+        self.type_counts[type(value).__name__] += 1
+        if len(self.examples) < max_examples and value not in self.examples:
+            self.examples.append(value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.numeric_min = (value if self.numeric_min is None
+                                else min(self.numeric_min, value))
+            self.numeric_max = (value if self.numeric_max is None
+                                else max(self.numeric_max, value))
+
+
+@dataclass
+class ScrapeReport:
+    """The induced schema of a message corpus."""
+
+    messages_seen: int
+    parse_failures: int
+    keys: Dict[str, KeyProfile]
+
+    def obligatory_keys(self) -> List[str]:
+        """Keys present in every successfully-parsed message."""
+        parsed = self.messages_seen - self.parse_failures
+        return sorted(path for path, profile in self.keys.items()
+                      if profile.occurrences == parsed)
+
+    def optional_keys(self) -> List[str]:
+        """Keys present in only some parsed messages."""
+        parsed = self.messages_seen - self.parse_failures
+        return sorted(path for path, profile in self.keys.items()
+                      if profile.occurrences < parsed)
+
+    def value_range(self, path: str) -> Tuple[Optional[float],
+                                              Optional[float]]:
+        """(min, max) over a key's numeric values."""
+        profile = self.keys[path]
+        return profile.numeric_min, profile.numeric_max
+
+
+def scrape_json(messages: Iterable[bytes],
+                max_examples: int = 5) -> ScrapeReport:
+    """Scrape a corpus of JSON messages into a :class:`ScrapeReport`."""
+    keys: Dict[str, KeyProfile] = {}
+    seen = 0
+    failures = 0
+    for message in messages:
+        seen += 1
+        try:
+            payload = json.loads(message.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            failures += 1
+            continue
+        for path, value in _flatten(payload):
+            profile = keys.get(path)
+            if profile is None:
+                profile = keys[path] = KeyProfile(path=path)
+            profile.observe(value, max_examples)
+    return ScrapeReport(messages_seen=seen, parse_failures=failures,
+                        keys=keys)
+
+
+def _flatten(payload: Any, prefix: str = "") -> Iterable[Tuple[str, Any]]:
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(value, path)
+    elif isinstance(payload, list):
+        for item in payload:
+            yield from _flatten(item, f"{prefix}[]")
+    else:
+        yield prefix, payload

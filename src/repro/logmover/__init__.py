@@ -1,0 +1,29 @@
+"""Log mover: staging-to-warehouse pipeline with an atomic hourly slide."""
+
+from repro.logmover.checks import (
+    DEFAULT_CHECKS,
+    SanityCheck,
+    SanityCheckError,
+    check_max_message_size,
+    check_no_empty_messages,
+    check_nonempty,
+)
+from repro.logmover.mover import (
+    INCOMING_ROOT,
+    IncompleteHourError,
+    LogMover,
+    MoveResult,
+)
+
+__all__ = [
+    "DEFAULT_CHECKS",
+    "SanityCheck",
+    "SanityCheckError",
+    "check_max_message_size",
+    "check_no_empty_messages",
+    "check_nonempty",
+    "INCOMING_ROOT",
+    "IncompleteHourError",
+    "LogMover",
+    "MoveResult",
+]

@@ -1,0 +1,56 @@
+"""Sanity checks the log mover applies before publishing an hour of logs.
+
+§2: the mover "applies certain sanity checks and transformations, such as
+merging many small files into a few big ones". Checks are small callables
+so deployments can add their own; each receives the decoded messages of
+one staging file and raises :class:`SanityCheckError` to quarantine it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+Message = bytes
+SanityCheck = Callable[[str, Sequence[Message]], None]
+
+
+class SanityCheckError(Exception):
+    """Raised by a check to reject one staging file."""
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+def check_nonempty(path: str, messages: Sequence[Message]) -> None:
+    """A staging file with zero records indicates an aggregator bug."""
+    if not messages:
+        raise SanityCheckError(path, "empty staging file")
+
+
+def check_no_empty_messages(path: str, messages: Sequence[Message]) -> None:
+    """Zero-length messages are always corruption in our formats."""
+    for i, message in enumerate(messages):
+        if not message:
+            raise SanityCheckError(path, f"empty message at index {i}")
+
+
+def check_max_message_size(limit: int = 1 << 20) -> SanityCheck:
+    """Build a check rejecting messages above ``limit`` bytes."""
+
+    def check(path: str, messages: Sequence[Message]) -> None:
+        for i, message in enumerate(messages):
+            if len(message) > limit:
+                raise SanityCheckError(
+                    path, f"message {i} is {len(message)} bytes (> {limit})"
+                )
+
+    return check
+
+
+DEFAULT_CHECKS: List[SanityCheck] = [
+    check_nonempty,
+    check_no_empty_messages,
+    check_max_message_size(),
+]

@@ -1,0 +1,180 @@
+"""The log mover: staging clusters → main data warehouse.
+
+§2: "Another process is responsible for moving these logs from the
+per-datacenter staging clusters into the main Hadoop data warehouse. It
+applies certain sanity checks and transformations, such as merging many
+small files into a few big ones ... it ensures that by the time logs are
+made available in the main data warehouse, all datacenters that produce a
+given log category have transferred their logs. Once all of this is done,
+the log mover pipeline atomically slides an hour's worth of logs into the
+main data warehouse."
+
+The atomic slide is implemented by writing merged files into a hidden
+``/_incoming`` directory and renaming the whole per-hour directory into
+``/logs/<category>/...`` in one namespace operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hdfs.layout import LOGS_ROOT, LogHour, staging_path
+from repro.hdfs.namenode import HDFS
+from repro.logmover.checks import DEFAULT_CHECKS, SanityCheck, SanityCheckError
+from repro.scribe.aggregator import decode_messages, encode_messages
+
+INCOMING_ROOT = "/_incoming"
+
+
+class IncompleteHourError(Exception):
+    """Raised when a producing datacenter has not yet transferred its logs."""
+
+
+@dataclass
+class MoveResult:
+    """Outcome of moving one hour of one category."""
+
+    hour: LogHour
+    messages_moved: int
+    input_files: int
+    output_files: int
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def merge_ratio(self) -> float:
+        """Input files per output file (the small-file merge factor)."""
+        if self.output_files == 0:
+            return 0.0
+        return self.input_files / self.output_files
+
+
+class LogMover:
+    """Moves per-hour log directories from staging clusters to the warehouse.
+
+    ``producers`` maps each category to the datacenters that produce it;
+    categories not listed are assumed to be produced by every datacenter.
+    """
+
+    def __init__(self, staging_clusters: Dict[str, HDFS], warehouse: HDFS,
+                 producers: Optional[Dict[str, Sequence[str]]] = None,
+                 checks: Optional[List[SanityCheck]] = None,
+                 target_file_bytes: int = 256 * 1024,
+                 codec: str = "zlib") -> None:
+        if not staging_clusters:
+            raise ValueError("need at least one staging cluster")
+        self._staging = dict(staging_clusters)
+        self._warehouse = warehouse
+        self._producers = dict(producers or {})
+        self._checks = list(DEFAULT_CHECKS if checks is None else checks)
+        self._target_file_bytes = target_file_bytes
+        self._codec = codec
+        self.moves: List[MoveResult] = []
+
+    # -- completeness barrier -------------------------------------------
+    def producing_datacenters(self, category: str) -> List[str]:
+        """Datacenters expected to stage data for a category."""
+        declared = self._producers.get(category)
+        if declared is not None:
+            return sorted(declared)
+        return sorted(self._staging)
+
+    def hour_ready(self, hour: LogHour) -> bool:
+        """True when every producing datacenter has staged data for ``hour``."""
+        for datacenter in self.producing_datacenters(hour.category):
+            staging = self._staging[datacenter]
+            directory = staging_path(datacenter, hour)
+            if not staging.glob_files(directory):
+                return False
+        return True
+
+    def hour_has_data(self, hour: LogHour) -> bool:
+        """True when at least one datacenter has staged data for ``hour``.
+
+        Quiet hours may legitimately leave some datacenters empty; the
+        operational pattern is to wait for :meth:`hour_ready` up to a
+        deadline, then move whatever :meth:`hour_has_data` shows with
+        ``require_complete=False``.
+        """
+        return any(
+            self._staging[dc].glob_files(staging_path(dc, hour))
+            for dc in self.producing_datacenters(hour.category)
+        )
+
+    # -- the move ----------------------------------------------------------
+    def move_hour(self, hour: LogHour, require_complete: bool = True,
+                  delete_staged: bool = True) -> MoveResult:
+        """Merge, check, and atomically publish one hour of one category."""
+        if require_complete and not self.hour_ready(hour):
+            missing = [
+                dc for dc in self.producing_datacenters(hour.category)
+                if not self._staging[dc].glob_files(staging_path(dc, hour))
+            ]
+            raise IncompleteHourError(
+                f"{hour} not transferred by datacenters: {missing}"
+            )
+
+        messages: List[bytes] = []
+        quarantined: List[Tuple[str, str]] = []
+        input_files = 0
+        staged_paths: List[Tuple[str, str]] = []
+        for datacenter in self.producing_datacenters(hour.category):
+            staging = self._staging[datacenter]
+            for path in staging.glob_files(staging_path(datacenter, hour)):
+                input_files += 1
+                staged_paths.append((datacenter, path))
+                file_messages = decode_messages(staging.open_bytes(path))
+                try:
+                    for check in self._checks:
+                        check(path, file_messages)
+                except SanityCheckError as exc:
+                    quarantined.append((exc.path, exc.reason))
+                    continue
+                messages.extend(file_messages)
+
+        # Merge many small files into a few big ones, then slide atomically.
+        incoming_dir = hour.path(root=INCOMING_ROOT)
+        output_files = self._write_merged(incoming_dir, messages)
+        final_dir = hour.path(root=LOGS_ROOT)
+        if self._warehouse.exists(final_dir):
+            self._warehouse.delete(final_dir, recursive=True)
+        self._warehouse.rename(incoming_dir, final_dir)
+
+        if delete_staged:
+            for datacenter, path in staged_paths:
+                self._staging[datacenter].delete(path)
+
+        result = MoveResult(hour=hour, messages_moved=len(messages),
+                            input_files=input_files,
+                            output_files=output_files,
+                            quarantined=quarantined)
+        self.moves.append(result)
+        return result
+
+    def move_ready_hours(self, hours: Sequence[LogHour]) -> List[MoveResult]:
+        """Move every hour in ``hours`` whose barrier is satisfied."""
+        results = []
+        for hour in hours:
+            if self.hour_ready(hour):
+                results.append(self.move_hour(hour))
+        return results
+
+    # -- internals ---------------------------------------------------------
+    def _write_merged(self, directory: str, messages: List[bytes]) -> int:
+        """Write messages as a small number of large framed files."""
+        self._warehouse.mkdirs(directory)
+        if not messages:
+            return 0
+        chunks: List[List[bytes]] = [[]]
+        size = 0
+        for message in messages:
+            if size >= self._target_file_bytes and chunks[-1]:
+                chunks.append([])
+                size = 0
+            chunks[-1].append(message)
+            size += len(message)
+        for i, chunk in enumerate(chunks):
+            path = f"{directory}/part-{i:05d}"
+            self._warehouse.create(path, encode_messages(chunk),
+                                   codec=self._codec)
+        return len(chunks)

@@ -1,0 +1,156 @@
+"""The local MapReduce execution engine.
+
+Executes jobs faithfully to the Hadoop dataflow -- map over splits,
+per-task combine, hash-partition, sort, reduce -- with exact accounting of
+records, bytes scanned, and shuffle volume. Execution is sequential (this
+is a simulator, not a cluster); the :class:`CostModel` translates counts
+into the parallel latency a real cluster would see.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mapreduce.counters import (
+    Counters,
+    GROUP_IO,
+    GROUP_TASK,
+    INPUT_BYTES,
+    INPUT_RECORDS,
+    MAP_TASKS,
+    OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_OUTPUT_RECORDS,
+    REDUCE_TASKS,
+    SHUFFLE_BYTES,
+    SHUFFLE_RECORDS,
+)
+from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
+from repro.mapreduce.jobtracker import JobTracker
+
+
+def sizeof(value: Any) -> int:
+    """Approximate serialized size of a key or value, in bytes."""
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if value is None:
+        return 1
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 4 + sum(sizeof(v) for v in value)
+    if isinstance(value, dict):
+        return 4 + sum(sizeof(k) + sizeof(v) for k, v in value.items())
+    if hasattr(value, "to_bytes") and callable(value.to_bytes):
+        try:
+            return len(value.to_bytes())
+        except TypeError:
+            pass
+    return 16  # opaque object
+
+
+def run_job(job: MapReduceJob,
+            tracker: Optional[JobTracker] = None) -> JobResult:
+    """Execute one job and return its output and counters."""
+    counters = Counters()
+    splits = job.input_format.splits()
+    partitions: List[List[Tuple[Any, Any]]] = [
+        [] for __ in range(job.num_reducers)
+    ]
+
+    # -- map phase ---------------------------------------------------------
+    for split in splits:
+        emitted = _run_map_task(job, split, counters)
+
+        if job.reducer is None:
+            partitions[0].extend(emitted)
+            continue
+
+        if job.combiner is not None:
+            emitted = _combine(job, emitted, counters)
+
+        for key, value in emitted:
+            counters.increment(GROUP_IO, SHUFFLE_RECORDS)
+            counters.increment(GROUP_IO, SHUFFLE_BYTES,
+                               sizeof(key) + sizeof(value))
+            partitions[hash(key) % job.num_reducers].append((key, value))
+
+    # -- reduce phase ------------------------------------------------------
+    output: List[Tuple[Any, Any]] = []
+    if job.reducer is None:
+        output = partitions[0]
+    else:
+        for partition in partitions:
+            if not partition and len(splits) == 0:
+                continue
+            counters.increment(GROUP_TASK, REDUCE_TASKS)
+            ctx = TaskContext(counters)
+            grouped = _group_sorted(partition)
+            counters.increment(GROUP_IO, REDUCE_INPUT_GROUPS, len(grouped))
+            for key, values in grouped:
+                job.reducer(key, values, ctx)
+            reduced = ctx.drain()
+            counters.increment(GROUP_IO, REDUCE_OUTPUT_RECORDS, len(reduced))
+            output.extend(reduced)
+
+    if tracker is not None:
+        tracker.record(job.name, counters)
+    return JobResult(name=job.name, output=output, counters=counters)
+
+
+class TaskFailedError(Exception):
+    """A task exhausted its attempts; the job fails (Hadoop semantics)."""
+
+
+def _run_map_task(job: MapReduceJob, split: Any,
+                  counters: Counters) -> List[Tuple[Any, Any]]:
+    """Execute one map task with Hadoop-style retry on failure.
+
+    A failed attempt's partial output is discarded (tasks are idempotent
+    units); only the successful attempt's records and emissions count.
+    """
+    last_error: Optional[Exception] = None
+    for attempt in range(job.max_task_attempts):
+        counters.increment(GROUP_TASK, MAP_TASKS)
+        counters.increment(GROUP_IO, INPUT_BYTES, split.length_bytes)
+        ctx = TaskContext(counters)
+        try:
+            records = job.input_format.read_split(split)
+            for record in records:
+                job.mapper(record, ctx)
+        except Exception as exc:  # noqa: BLE001 - any task error retries
+            counters.increment(GROUP_TASK, "map_task_failures")
+            last_error = exc
+            continue
+        counters.increment(GROUP_IO, INPUT_RECORDS, len(records))
+        emitted = ctx.drain()
+        counters.increment(GROUP_IO, OUTPUT_RECORDS, len(emitted))
+        return emitted
+    raise TaskFailedError(
+        f"map task over {split!r} failed {job.max_task_attempts} "
+        f"attempt(s): {last_error}"
+    ) from last_error
+
+
+def _combine(job: MapReduceJob, emitted: List[Tuple[Any, Any]],
+             counters: Counters) -> List[Tuple[Any, Any]]:
+    """Run the combiner over one map task's output."""
+    ctx = TaskContext(counters)
+    for key, values in _group_sorted(emitted):
+        job.combiner(key, values, ctx)
+    return ctx.drain()
+
+
+def _group_sorted(pairs: List[Tuple[Any, Any]]) -> List[Tuple[Any, List[Any]]]:
+    """Group pairs by key in sorted key order (the shuffle's sort-merge)."""
+    grouped: Dict[Any, List[Any]] = defaultdict(list)
+    for key, value in pairs:
+        grouped[key].append(value)
+    return sorted(grouped.items(), key=lambda kv: repr(kv[0]))

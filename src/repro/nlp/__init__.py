@@ -1,0 +1,51 @@
+"""User modeling with NLP techniques: n-grams, collocations, alignment."""
+
+from repro.nlp.ngram import (
+    BOS,
+    EOS,
+    UNK,
+    NGramModel,
+    perplexity_by_order,
+)
+from repro.nlp.collocations import (
+    Collocation,
+    bigram_statistics,
+    log_likelihood_ratio,
+    pmi,
+    top_collocations,
+)
+from repro.nlp.grammar import (
+    Grammar,
+    compression_ratio,
+    induce_grammar,
+    is_nonterminal,
+)
+from repro.nlp.alignment import (
+    AlignmentResult,
+    SimilarSession,
+    query_by_example,
+    similarity,
+    smith_waterman,
+)
+
+__all__ = [
+    "BOS",
+    "EOS",
+    "UNK",
+    "NGramModel",
+    "perplexity_by_order",
+    "Collocation",
+    "bigram_statistics",
+    "log_likelihood_ratio",
+    "pmi",
+    "top_collocations",
+    "Grammar",
+    "compression_ratio",
+    "induce_grammar",
+    "is_nonterminal",
+    "AlignmentResult",
+    "SimilarSession",
+    "query_by_example",
+    "similarity",
+    "smith_waterman",
+]

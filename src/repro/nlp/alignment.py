@@ -1,0 +1,113 @@
+"""Session similarity via local sequence alignment (§6).
+
+"Bridging these two worlds, we can take inspiration from biological
+sequence alignment [BLAST] to answer questions like: 'What users exhibit
+similar behavioral patterns?' This type of 'query-by-example' mechanism
+would help in understanding what makes Twitter users engaged."
+
+Session sequences are strings over the event alphabet, so Smith-Waterman
+local alignment applies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.core.sequences import SessionSequenceRecord
+
+
+@dataclass
+class AlignmentResult:
+    """Best local alignment between two symbol sequences."""
+
+    score: float
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+
+    @property
+    def length(self) -> int:
+        """Length of the longer aligned span."""
+        return max(self.a_end - self.a_start, self.b_end - self.b_start)
+
+
+def smith_waterman(a: Sequence[str], b: Sequence[str],
+                   match: float = 2.0, mismatch: float = -1.0,
+                   gap: float = -1.5) -> AlignmentResult:
+    """Smith-Waterman local alignment over two symbol sequences."""
+    rows, cols = len(a), len(b)
+    if rows == 0 or cols == 0:
+        return AlignmentResult(0.0, 0, 0, 0, 0)
+    # score matrix with one extra leading row/column of zeros
+    previous = [0.0] * (cols + 1)
+    best = 0.0
+    best_pos = (0, 0)
+    matrix: List[List[float]] = [previous[:]]
+    for i in range(1, rows + 1):
+        current = [0.0] * (cols + 1)
+        for j in range(1, cols + 1):
+            diag = previous[j - 1] + (match if a[i - 1] == b[j - 1]
+                                      else mismatch)
+            up = previous[j] + gap
+            left = current[j - 1] + gap
+            current[j] = max(0.0, diag, up, left)
+            if current[j] > best:
+                best = current[j]
+                best_pos = (i, j)
+        matrix.append(current)
+        previous = current
+
+    # Traceback to find the aligned spans.
+    i, j = best_pos
+    end_i, end_j = i, j
+    while i > 0 and j > 0 and matrix[i][j] > 0:
+        score = matrix[i][j]
+        diag = matrix[i - 1][j - 1] + (match if a[i - 1] == b[j - 1]
+                                       else mismatch)
+        if abs(score - diag) < 1e-9:
+            i, j = i - 1, j - 1
+        elif abs(score - (matrix[i - 1][j] + gap)) < 1e-9:
+            i -= 1
+        else:
+            j -= 1
+    return AlignmentResult(score=best, a_start=i, a_end=end_i,
+                           b_start=j, b_end=end_j)
+
+
+def similarity(a: Sequence[str], b: Sequence[str], **kwargs) -> float:
+    """Length-normalized local alignment score in [0, 1]-ish range."""
+    if not a or not b:
+        return 0.0
+    result = smith_waterman(a, b, **kwargs)
+    match = kwargs.get("match", 2.0)
+    return result.score / (match * min(len(a), len(b)))
+
+
+@dataclass
+class SimilarSession:
+    """One hit of a query-by-example search."""
+
+    record: SessionSequenceRecord
+    score: float
+    alignment: AlignmentResult
+
+
+def query_by_example(probe: SessionSequenceRecord,
+                     records: Iterable[SessionSequenceRecord],
+                     top_n: int = 10,
+                     exclude_same_user: bool = True,
+                     **kwargs) -> List[SimilarSession]:
+    """Sessions most similar to ``probe`` by local alignment score."""
+    probe_seq = probe.session_sequence
+    hits: List[SimilarSession] = []
+    for record in records:
+        if exclude_same_user and record.user_id == probe.user_id:
+            continue
+        alignment = smith_waterman(probe_seq, record.session_sequence,
+                                   **kwargs)
+        hits.append(SimilarSession(record=record, score=alignment.score,
+                                   alignment=alignment))
+    hits.sort(key=lambda h: (-h.score, h.record.session_id))
+    return hits[:top_n]

@@ -1,0 +1,122 @@
+"""Activity collocations (§5.4).
+
+"Applying the analogy to session sequences, it is possible to extract
+'activity collocates', which represent potentially interesting patterns
+of user activity. We have begun to perform these types of analyses,
+borrowing standard techniques from text processing such as pointwise
+mutual information [Church & Hanks 1990] and log-likelihood ratios
+[Dunning 1993]."
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class Collocation:
+    """One scored adjacent pair."""
+
+    first: str
+    second: str
+    count: int
+    score: float
+
+
+def bigram_statistics(sequences: Iterable[Sequence[str]]
+                      ) -> Tuple[Counter, Counter, int]:
+    """(bigram counts, unigram counts, total bigram positions)."""
+    bigrams: Counter = Counter()
+    unigrams: Counter = Counter()
+    positions = 0
+    for sequence in sequences:
+        symbols = list(sequence)
+        unigrams.update(symbols)
+        for a, b in zip(symbols, symbols[1:]):
+            bigrams[(a, b)] += 1
+            positions += 1
+    return bigrams, unigrams, positions
+
+
+def pmi(sequences: Iterable[Sequence[str]], min_count: int = 5
+        ) -> List[Collocation]:
+    """Pointwise mutual information over adjacent pairs, ranked.
+
+    PMI(a, b) = log2( P(a,b) / (P(a) P(b)) ). High-PMI pairs co-occur far
+    more than independence predicts -- the "hot dog" effect.
+    """
+    bigrams, unigrams, positions = bigram_statistics(sequences)
+    if positions == 0:
+        return []
+    total_unigrams = sum(unigrams.values())
+    out: List[Collocation] = []
+    for (a, b), count in bigrams.items():
+        if count < min_count:
+            continue
+        p_ab = count / positions
+        p_a = unigrams[a] / total_unigrams
+        p_b = unigrams[b] / total_unigrams
+        score = math.log2(p_ab / (p_a * p_b))
+        out.append(Collocation(first=a, second=b, count=count, score=score))
+    out.sort(key=lambda c: (-c.score, c.first, c.second))
+    return out
+
+
+def log_likelihood_ratio(sequences: Iterable[Sequence[str]],
+                         min_count: int = 5) -> List[Collocation]:
+    """Dunning's log-likelihood ratio over adjacent pairs, ranked.
+
+    More robust than PMI for rare events: compares the likelihood of the
+    data under "b's rate depends on preceding a" vs "b is independent
+    of a" using binomial likelihoods (Dunning 1993).
+    """
+    bigrams, unigrams, positions = bigram_statistics(sequences)
+    if positions == 0:
+        return []
+    out: List[Collocation] = []
+    for (a, b), k11 in bigrams.items():
+        if k11 < min_count:
+            continue
+        c_a = sum(count for (x, __), count in bigrams.items() if x == a)
+        c_b = sum(count for (__, y), count in bigrams.items() if y == b)
+        k12 = c_a - k11            # a followed by not-b
+        k21 = c_b - k11            # not-a followed by b
+        k22 = positions - k11 - k12 - k21
+        score = _llr(k11, k12, k21, k22)
+        out.append(Collocation(first=a, second=b, count=k11, score=score))
+    out.sort(key=lambda c: (-c.score, c.first, c.second))
+    return out
+
+
+def _llr(k11: int, k12: int, k21: int, k22: int) -> float:
+    """2 * (H(row sums) + H(col sums) - H(cells)) in natural-log units."""
+    row1, row2 = k11 + k12, k21 + k22
+    col1, col2 = k11 + k21, k12 + k22
+    total = row1 + row2
+    return 2.0 * (
+        _entropy_terms(k11, k12, k21, k22)
+        - _entropy_terms(row1, row2)
+        - _entropy_terms(col1, col2)
+        + _entropy_terms(total)
+    )
+
+
+def _entropy_terms(*counts: int) -> float:
+    return sum(c * math.log(c) for c in counts if c > 0)
+
+
+def top_collocations(sequences: Iterable[Sequence[str]],
+                     method: str = "llr", n: int = 20,
+                     min_count: int = 5) -> List[Collocation]:
+    """Ranked collocations by the chosen method (``pmi`` or ``llr``)."""
+    sequences = list(sequences)
+    if method == "pmi":
+        ranked = pmi(sequences, min_count=min_count)
+    elif method == "llr":
+        ranked = log_likelihood_ratio(sequences, min_count=min_count)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return ranked[:n]

@@ -1,0 +1,180 @@
+"""Grammar induction over session sequences (§6).
+
+"More advanced (but speculative) techniques include applying automatic
+grammar induction techniques to learn hierarchical decompositions of user
+activity. For example, we might learn that many sessions break down into
+smaller units that exhibit a great deal of cohesion (each with rich
+internal structure), in the same way that a simple English sentence
+decomposes into a noun phrase and a verb phrase."
+
+We implement Re-Pair (Larsson & Moffat 1999): repeatedly replace the most
+frequent adjacent symbol pair with a fresh nonterminal until no pair
+repeats. The result is a straight-line grammar whose nonterminals are
+exactly the cohesive behavioural units the paper hypothesizes -- e.g. a
+"search phrase" (query, results impression, result click) emerges as one
+rule when users repeat it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Symbol = str
+
+#: Prefix marking induced nonterminals (never collides with event names,
+#: which contain colons but never angle brackets).
+_NT_PREFIX = "<R"
+
+
+def _nonterminal(index: int) -> Symbol:
+    return f"{_NT_PREFIX}{index}>"
+
+
+def is_nonterminal(symbol: Symbol) -> bool:
+    """True for symbols introduced by the induction, not the alphabet."""
+    return symbol.startswith(_NT_PREFIX) and symbol.endswith(">")
+
+
+@dataclass
+class Grammar:
+    """A straight-line grammar over session symbols.
+
+    ``sequences`` are the compressed top-level strings (one per input
+    session); ``rules`` maps each nonterminal to the pair it abbreviates.
+    """
+
+    sequences: List[List[Symbol]]
+    rules: Dict[Symbol, Tuple[Symbol, Symbol]]
+
+    # -- interpretation --------------------------------------------------
+    def expand_symbol(self, symbol: Symbol) -> List[Symbol]:
+        """Fully expand one symbol back to terminal event names."""
+        if symbol not in self.rules:
+            return [symbol]
+        left, right = self.rules[symbol]
+        return self.expand_symbol(left) + self.expand_symbol(right)
+
+    def expand(self, sequence: Sequence[Symbol]) -> List[Symbol]:
+        """Fully expand a compressed sequence."""
+        out: List[Symbol] = []
+        for symbol in sequence:
+            out.extend(self.expand_symbol(symbol))
+        return out
+
+    def expansions(self) -> Dict[Symbol, List[Symbol]]:
+        """Every rule's full terminal expansion."""
+        return {nt: self.expand_symbol(nt) for nt in self.rules}
+
+    # -- measurements ------------------------------------------------------
+    @property
+    def num_rules(self) -> int:
+        """How many nonterminals the induction created."""
+        return len(self.rules)
+
+    def grammar_size(self) -> int:
+        """Total symbols in the grammar (sequences + rule bodies):
+        the standard size measure for straight-line grammars."""
+        return (sum(len(s) for s in self.sequences)
+                + 2 * len(self.rules))
+
+    def rule_usage(self) -> Counter:
+        """How often each nonterminal occurs (in sequences and rules)."""
+        usage: Counter = Counter()
+        for sequence in self.sequences:
+            usage.update(s for s in sequence if is_nonterminal(s))
+        for left, right in self.rules.values():
+            for symbol in (left, right):
+                if is_nonterminal(symbol):
+                    usage[symbol] += 1
+        return usage
+
+    def cohesive_units(self, min_length: int = 3,
+                       top: int = 10) -> List[Tuple[List[Symbol], int]]:
+        """The most reused long expansions: the paper's 'smaller units
+        that exhibit a great deal of cohesion'."""
+        usage = self.rule_usage()
+        units = []
+        for nonterminal, expansion in self.expansions().items():
+            if len(expansion) >= min_length:
+                units.append((expansion, usage[nonterminal]))
+        units.sort(key=lambda pair: (-pair[1], -len(pair[0])))
+        return units[:top]
+
+
+def induce_grammar(sequences: Iterable[Sequence[Symbol]],
+                   min_pair_count: int = 2,
+                   max_rules: Optional[int] = None) -> Grammar:
+    """Run Re-Pair over a corpus of symbol sequences.
+
+    Pairs are counted across all sequences (never across a sequence
+    boundary); replacement continues while the most frequent pair occurs
+    at least ``min_pair_count`` times, up to ``max_rules``.
+    """
+    if min_pair_count < 2:
+        raise ValueError("min_pair_count must be >= 2")
+    work = [list(s) for s in sequences]
+    rules: Dict[Symbol, Tuple[Symbol, Symbol]] = {}
+
+    while max_rules is None or len(rules) < max_rules:
+        counts = _pair_counts(work)
+        if not counts:
+            break
+        # Deterministic choice: highest count, then lexicographic pair.
+        pair, count = min(counts.items(),
+                          key=lambda kv: (-kv[1], kv[0]))
+        if count < min_pair_count:
+            break
+        nonterminal = _nonterminal(len(rules))
+        rules[nonterminal] = pair
+        work = [_replace_pair(sequence, pair, nonterminal)
+                for sequence in work]
+
+    return Grammar(sequences=work, rules=rules)
+
+
+def _pair_counts(sequences: List[List[Symbol]]) -> Counter:
+    """Non-overlapping pair counts (``aaa`` holds one ``aa``, not two),
+    matching what :func:`_replace_pair` can actually replace."""
+    counts: Counter = Counter()
+    for sequence in sequences:
+        i = 0
+        while i + 1 < len(sequence):
+            pair = (sequence[i], sequence[i + 1])
+            counts[pair] += 1
+            if (pair[0] == pair[1] and i + 2 < len(sequence)
+                    and sequence[i + 2] == pair[0]):
+                # a run of identical symbols: step past the counted pair
+                # so overlapping occurrences are not double-counted
+                i += 2
+            else:
+                i += 1
+    return counts
+
+
+def _replace_pair(sequence: List[Symbol], pair: Tuple[Symbol, Symbol],
+                  nonterminal: Symbol) -> List[Symbol]:
+    """Replace non-overlapping left-to-right occurrences of ``pair``."""
+    out: List[Symbol] = []
+    i = 0
+    while i < len(sequence):
+        if (i + 1 < len(sequence)
+                and sequence[i] == pair[0] and sequence[i + 1] == pair[1]):
+            out.append(nonterminal)
+            i += 2
+        else:
+            out.append(sequence[i])
+            i += 1
+    return out
+
+
+def compression_ratio(grammar: Grammar,
+                      original: Iterable[Sequence[Symbol]]) -> float:
+    """Original symbol count divided by grammar size (> 1 means the
+    corpus has reusable hierarchical structure)."""
+    original_size = sum(len(s) for s in original)
+    size = grammar.grammar_size()
+    if size == 0:
+        return 1.0
+    return original_size / size

@@ -1,0 +1,146 @@
+"""N-gram language models over session symbol sequences (§5.4).
+
+"Language models define a probability distribution over sequences of
+symbols ... an n-gram language model is equivalent to a (n-1)-order
+Markov model ... Metrics such as cross entropy and perplexity can be used
+to quantify how well a particular n-gram model 'explains' the data, which
+gives us a sense of how much 'temporal signal' there is in user behavior."
+
+Sequences are lists of symbols -- event names or the single-character
+unicode symbols of a session sequence; the models are agnostic. Sentence
+boundaries use ``BOS``/``EOS`` padding. Two smoothing schemes:
+
+- ``add_k``: Laplace-style additive smoothing over a closed vocabulary
+  with an UNK symbol;
+- ``interpolated``: Jelinek-Mercer interpolation with lower orders,
+  recursing down to a smoothed unigram.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+BOS = "<s>"
+EOS = "</s>"
+UNK = "<unk>"
+
+
+class NGramModel:
+    """An n-gram LM with selectable smoothing."""
+
+    def __init__(self, n: int, smoothing: str = "interpolated",
+                 add_k: float = 0.1, interpolation_lambda: float = 0.75
+                 ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if smoothing not in ("add_k", "interpolated"):
+            raise ValueError(f"unknown smoothing {smoothing!r}")
+        if not 0 < interpolation_lambda < 1:
+            raise ValueError("interpolation_lambda must be in (0, 1)")
+        if add_k <= 0:
+            raise ValueError("add_k must be positive")
+        self.n = n
+        self.smoothing = smoothing
+        self.add_k = add_k
+        self.lam = interpolation_lambda
+        # counts[k] maps a k-symbol context tuple to a Counter of next
+        # symbols; counts[0][()] is the unigram distribution.
+        self._counts: List[Dict[Tuple[str, ...], Counter]] = [
+            defaultdict(Counter) for __ in range(n)
+        ]
+        self._vocab: set = {EOS, UNK}
+        self._trained = False
+
+    # -- training ----------------------------------------------------------
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "NGramModel":
+        """Count n-grams (and all lower orders) over training sequences."""
+        for sequence in sequences:
+            symbols = [BOS] * (self.n - 1) + list(sequence) + [EOS]
+            self._vocab.update(sequence)
+            for i in range(self.n - 1, len(symbols)):
+                target = symbols[i]
+                for order in range(self.n):
+                    context = tuple(symbols[i - order:i])
+                    self._counts[order][context][target] += 1
+        self._trained = True
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        """Distinct symbols incl. the EOS and UNK specials."""
+        return len(self._vocab)
+
+    # -- probabilities ---------------------------------------------------
+    def probability(self, symbol: str, context: Sequence[str]) -> float:
+        """P(symbol | last n-1 symbols of context)."""
+        if not self._trained:
+            raise RuntimeError("model is not fitted")
+        symbol = symbol if symbol in self._vocab else UNK
+        history = tuple(
+            (s if s in self._vocab or s == BOS else UNK)
+            for s in ([BOS] * (self.n - 1) + list(context))[-(self.n - 1):]
+        ) if self.n > 1 else ()
+        if self.smoothing == "add_k":
+            return self._prob_add_k(symbol, history, order=self.n - 1)
+        return self._prob_interpolated(symbol, history, order=self.n - 1)
+
+    def _prob_add_k(self, symbol: str, context: Tuple[str, ...],
+                    order: int) -> float:
+        counter = self._counts[order].get(context, Counter())
+        total = sum(counter.values())
+        return ((counter.get(symbol, 0) + self.add_k)
+                / (total + self.add_k * self.vocab_size))
+
+    def _prob_interpolated(self, symbol: str, context: Tuple[str, ...],
+                           order: int) -> float:
+        if order == 0:
+            return self._prob_add_k(symbol, (), order=0)
+        counter = self._counts[order].get(context, Counter())
+        total = sum(counter.values())
+        higher = (counter.get(symbol, 0) / total) if total else 0.0
+        lower = self._prob_interpolated(symbol, context[1:], order - 1)
+        return self.lam * higher + (1.0 - self.lam) * lower
+
+    # -- evaluation --------------------------------------------------------
+    def sequence_log2_probability(self, sequence: Sequence[str]) -> float:
+        """log2 P(sequence), including the EOS transition."""
+        symbols = [BOS] * (self.n - 1) + list(sequence) + [EOS]
+        total = 0.0
+        for i in range(self.n - 1, len(symbols)):
+            context = symbols[max(0, i - self.n + 1):i]
+            total += math.log2(self.probability(symbols[i], context))
+        return total
+
+    def cross_entropy(self, sequences: Iterable[Sequence[str]]) -> float:
+        """Bits per symbol over held-out sequences."""
+        bits = 0.0
+        symbols = 0
+        for sequence in sequences:
+            bits -= self.sequence_log2_probability(sequence)
+            symbols += len(sequence) + 1  # EOS counts as a prediction
+        if symbols == 0:
+            raise ValueError("no symbols to evaluate")
+        return bits / symbols
+
+    def perplexity(self, sequences: Iterable[Sequence[str]]) -> float:
+        """2 ** cross-entropy: the standard LM quality number."""
+        return 2.0 ** self.cross_entropy(list(sequences))
+
+
+def perplexity_by_order(train: List[Sequence[str]],
+                        test: List[Sequence[str]],
+                        max_n: int = 5,
+                        smoothing: str = "interpolated"
+                        ) -> List[Tuple[int, float]]:
+    """Perplexity of n=1..max_n models: the §5.4 temporal-signal curve.
+
+    Falling perplexity with growing n means "how the user behaves right
+    now is strongly influenced by immediately preceding actions".
+    """
+    out: List[Tuple[int, float]] = []
+    for n in range(1, max_n + 1):
+        model = NGramModel(n, smoothing=smoothing).fit(train)
+        out.append((n, model.perplexity(test)))
+    return out

@@ -1,0 +1,38 @@
+"""Oink: workflow scheduling, execution traces, automatic rollups."""
+
+from repro.oink.scheduler import (
+    CycleError,
+    Oink,
+    OinkError,
+    OinkJob,
+    UnknownDependencyError,
+)
+from repro.oink.traces import ExecutionTrace, TraceLog
+from repro.oink.pipelines import (
+    PipelineState,
+    register_standard_pipeline,
+)
+from repro.oink.rollups import (
+    ROLLUP_LEVELS,
+    ROLLUPS_ROOT,
+    RollupJob,
+    RollupResult,
+    rollup_keys,
+)
+
+__all__ = [
+    "CycleError",
+    "Oink",
+    "OinkError",
+    "OinkJob",
+    "UnknownDependencyError",
+    "ExecutionTrace",
+    "TraceLog",
+    "PipelineState",
+    "register_standard_pipeline",
+    "ROLLUP_LEVELS",
+    "ROLLUPS_ROOT",
+    "RollupJob",
+    "RollupResult",
+    "rollup_keys",
+]

@@ -1,0 +1,111 @@
+"""The standard production pipeline wired into Oink (§3, §4.2).
+
+"One common Oink data dependency is the log mover pipeline, so once logs
+arrive in the main data warehouse, dependent jobs are automatically
+triggered" ... "Once all logs for one day have been successfully imported
+into our main data warehouse, Oink triggers a job that scans the client
+event logs" (the session-sequence build), and the rollup aggregations and
+catalog rebuild follow the same daily cadence.
+
+:func:`register_standard_pipeline` wires that exact topology:
+
+    log_mover (hourly)
+        └── session_sequences (daily, gated on the day's hours moved)
+                └── catalog (daily)
+        └── rollups (daily)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+from repro.core.builder import SessionSequenceBuilder
+from repro.core.catalog import ClientEventCatalog
+from repro.core.event import CLIENT_EVENTS_CATEGORY
+from repro.hdfs.layout import EPOCH, LogHour, hour_for_millis
+from repro.logmover.mover import LogMover
+from repro.oink.rollups import RollupJob, RollupResult
+from repro.oink.scheduler import Oink
+
+Date = Tuple[int, int, int]
+
+
+@dataclass
+class PipelineState:
+    """What the registered pipeline has produced so far."""
+
+    moved_hours: List[LogHour] = field(default_factory=list)
+    builds: Dict[Date, object] = field(default_factory=dict)
+    rollups: Dict[Date, RollupResult] = field(default_factory=dict)
+    catalogs: Dict[Date, ClientEventCatalog] = field(default_factory=dict)
+
+    def hours_moved_for_day(self, date: Date) -> int:
+        """How many of a day's hours the mover has published."""
+        return sum(1 for hour in self.moved_hours
+                   if (hour.year, hour.month, hour.day) == date)
+
+
+def _date_of_period(period_start_ms: int) -> Date:
+    from datetime import timedelta
+
+    when = EPOCH + timedelta(milliseconds=period_start_ms)
+    return (when.year, when.month, when.day)
+
+
+def register_standard_pipeline(oink: Oink, mover: LogMover,
+                               builder: SessionSequenceBuilder,
+                               rollup_job: Optional[RollupJob] = None,
+                               category: str = CLIENT_EVENTS_CATEGORY
+                               ) -> PipelineState:
+    """Register the mover/build/rollup/catalog jobs on an Oink instance.
+
+    Returns the :class:`PipelineState` the jobs fill in as the caller
+    advances the clock and calls :meth:`Oink.run_pending`.
+    """
+    state = PipelineState()
+
+    def move_hour(period_start: int) -> None:
+        hour = hour_for_millis(category, period_start)
+        if mover.hour_has_data(hour):
+            mover.move_hour(hour, require_complete=False)
+            state.moved_hours.append(hour)
+
+    def build_sequences(period_start: int) -> None:
+        date = _date_of_period(period_start)
+        state.builds[date] = builder.run(*date)
+
+    def build_rollups(period_start: int) -> None:
+        if rollup_job is None:
+            return
+        date = _date_of_period(period_start)
+        state.rollups[date] = rollup_job.run(*date)
+
+    def build_catalog(period_start: int) -> None:
+        date = _date_of_period(period_start)
+        catalog = ClientEventCatalog(builder.load_histogram(*date),
+                                     builder.load_samples(*date))
+        previous = state.catalogs.get(_previous_day(date))
+        if previous is not None:
+            catalog.carry_descriptions_from(previous)
+        state.catalogs[date] = catalog
+
+    def day_has_moved_hours(period_start: int) -> bool:
+        return state.hours_moved_for_day(_date_of_period(period_start)) > 0
+
+    oink.hourly("log_mover", move_hour)
+    oink.daily("session_sequences", build_sequences,
+               depends_on=["log_mover"], gate=day_has_moved_hours)
+    oink.daily("rollups", build_rollups, depends_on=["log_mover"],
+               gate=day_has_moved_hours)
+    oink.daily("catalog", build_catalog,
+               depends_on=["session_sequences"])
+    return state
+
+
+def _previous_day(date: Date) -> Date:
+    from datetime import date as _date, timedelta
+
+    when = _date(*date) - timedelta(days=1)
+    return (when.year, when.month, when.day)

@@ -1,0 +1,145 @@
+"""Automatic rollup aggregations over client events (§3.2).
+
+"Oink jobs automatically aggregate counts of events according to the
+following schemas:
+
+    (client, page, section, component, element, action)
+    (client, page, section, component, *, action)
+    (client, page, section, *, *, action)
+    (client, page, *, *, *, action)
+    (client, *, *, *, *, action)
+
+These counts are presented as top-level metrics in our internal dashboard,
+further broken down by country and logged in/logged out status. Thus,
+without any additional intervention from the application developer,
+rudimentary statistics are computed and made available on a daily basis."
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.names import EventName
+from repro.hdfs.namenode import HDFS
+from repro.mapreduce.jobtracker import JobTracker
+from repro.pig.loaders import ClientEventsLoader
+from repro.pig.relation import PigServer
+
+#: The five schemas, by how many leading components are kept (action is
+#: always kept).
+ROLLUP_LEVELS = (5, 4, 3, 2, 1)
+
+RollupKey = Tuple[Tuple[str, ...], str, str]  # (name key, country, status)
+
+ROLLUPS_ROOT = "/rollups"
+
+
+@dataclass
+class RollupResult:
+    """One day's rollup tables, one Counter per schema level."""
+
+    date: Tuple[int, int, int]
+    tables: Dict[int, Counter]
+
+    def count(self, level: int, key: Tuple[str, ...],
+              country: str = "*", status: str = "*") -> int:
+        """Count for one rollup key; '*' sums over a breakdown dimension."""
+        table = self.tables[level]
+        total = 0
+        for (name_key, entry_country, entry_status), count in table.items():
+            if name_key != key:
+                continue
+            if country != "*" and entry_country != country:
+                continue
+            if status != "*" and entry_status != status:
+                continue
+            total += count
+        return total
+
+    def top(self, level: int, n: int = 10) -> List[Tuple[RollupKey, int]]:
+        """Most frequent rollup keys at one level."""
+        return self.tables[level].most_common(n)
+
+
+def rollup_keys(event_name: str) -> List[Tuple[int, Tuple[str, ...]]]:
+    """All five rollup keys of one event name."""
+    parsed = EventName.parse(event_name)
+    return [(level, parsed.rollup(level)) for level in ROLLUP_LEVELS]
+
+
+class RollupJob:
+    """The daily aggregation job Oink triggers after the log mover."""
+
+    def __init__(self, warehouse: HDFS,
+                 tracker: Optional[JobTracker] = None) -> None:
+        self._warehouse = warehouse
+        self._pig = PigServer(tracker)
+
+    def run(self, year: int, month: int, day: int,
+            materialize: bool = True) -> RollupResult:
+        """Aggregate one day of client events into the five tables.
+
+        One pass over the logs: the mapper fans each event out to its
+        five rollup keys; the group-by does the counting.
+        """
+        loader = ClientEventsLoader(self._warehouse, year, month, day)
+
+        def fan_out(event) -> List[Tuple[int, RollupKey]]:
+            country = event.country or "unknown"
+            status = "logged_in" if event.logged_in else "logged_out"
+            return [(level, (key, country, status))
+                    for level, key in rollup_keys(event.event_name)]
+
+        counted = (
+            self._pig.load(loader)
+            .flatten(fan_out, description="rollup_fanout")
+            .group_by(lambda pair: pair, description="rollup_group")
+            .foreach(lambda g: (g["group"], len(g["bag"])),
+                     description="rollup_count")
+        )
+        tables: Dict[int, Counter] = {level: Counter()
+                                      for level in ROLLUP_LEVELS}
+        for (level, key), count in counted.dump():
+            tables[level][key] += count
+
+        result = RollupResult(date=(year, month, day), tables=tables)
+        if materialize:
+            self._materialize(result)
+        return result
+
+    def _materialize(self, result: RollupResult) -> None:
+        """Write the tables to HDFS for the dashboard to read."""
+        year, month, day = result.date
+        directory = f"{ROLLUPS_ROOT}/{year:04d}/{month:02d}/{day:02d}"
+        for level, table in result.tables.items():
+            payload = [
+                {"key": list(name_key), "country": country,
+                 "status": status, "count": count}
+                for (name_key, country, status), count in
+                sorted(table.items())
+            ]
+            self._warehouse.create(
+                f"{directory}/level-{level}.json",
+                json.dumps(payload).encode("utf-8"),
+                codec="zlib", overwrite=True,
+            )
+
+    @staticmethod
+    def load(warehouse: HDFS, year: int, month: int,
+             day: int) -> RollupResult:
+        """Read back a materialized day of rollups."""
+        directory = f"{ROLLUPS_ROOT}/{year:04d}/{month:02d}/{day:02d}"
+        tables: Dict[int, Counter] = {}
+        for level in ROLLUP_LEVELS:
+            payload = json.loads(
+                warehouse.open_bytes(f"{directory}/level-{level}.json")
+            )
+            table: Counter = Counter()
+            for item in payload:
+                key = (tuple(item["key"]), item["country"], item["status"])
+                table[key] = item["count"]
+            tables[level] = table
+        return RollupResult(date=(year, month, day), tables=tables)

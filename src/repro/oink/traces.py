@@ -1,0 +1,70 @@
+"""Execution traces for audit (§3).
+
+"Oink preserves execution traces for audit purposes: when a job began,
+how long it lasted, whether it completed successfully, etc."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class ExecutionTrace:
+    """Audit record of one job instance."""
+
+    job_name: str
+    period_start: int          # logical ms of the period this run covers
+    scheduled_at: int          # when Oink decided to run it
+    started_at: Optional[int] = None
+    finished_at: Optional[int] = None
+    success: Optional[bool] = None
+    error: Optional[str] = None
+
+    @property
+    def duration_ms(self) -> Optional[int]:
+        """Run duration in logical ms, or None if unfinished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def completed(self) -> bool:
+        """True once the run finished (success or failure)."""
+        return self.finished_at is not None
+
+
+class TraceLog:
+    """Append-only log of execution traces with simple queries."""
+
+    def __init__(self) -> None:
+        self._traces: List[ExecutionTrace] = []
+
+    def append(self, trace: ExecutionTrace) -> None:
+        """Append one trace to the log."""
+        self._traces.append(trace)
+
+    def all(self) -> List[ExecutionTrace]:
+        """Every trace, in append order."""
+        return list(self._traces)
+
+    def for_job(self, job_name: str) -> List[ExecutionTrace]:
+        """Traces of one job, in append order."""
+        return [t for t in self._traces if t.job_name == job_name]
+
+    def successes(self, job_name: str) -> List[ExecutionTrace]:
+        """Successful traces of one job."""
+        return [t for t in self.for_job(job_name) if t.success]
+
+    def failures(self, job_name: str) -> List[ExecutionTrace]:
+        """Failed traces of one job."""
+        return [t for t in self.for_job(job_name) if t.success is False]
+
+    def succeeded(self, job_name: str, period_start: int) -> bool:
+        """Did the job complete successfully for a given period?"""
+        return any(t.period_start == period_start and t.success
+                   for t in self.for_job(job_name))
+
+    def __len__(self) -> int:
+        return len(self._traces)

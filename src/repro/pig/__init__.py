@@ -1,0 +1,58 @@
+"""Pig-like dataflow layer compiled onto the MapReduce engine."""
+
+from repro.pig.plan import (
+    DistinctNode,
+    FilterNode,
+    FlattenNode,
+    ForeachNode,
+    GroupAllNode,
+    GroupNode,
+    JoinNode,
+    LimitNode,
+    LoadNode,
+    OrderNode,
+    UnionNode,
+)
+from repro.pig.relation import PigRelation, PigServer
+from repro.pig.executor import PlanError, PlanExecutor
+from repro.pig.loaders import (
+    ClientEventsLoader,
+    FramedMessagesLoader,
+    InMemoryLoader,
+    SessionSequencesLoader,
+)
+from repro.pig.udf import EvalFunc, UDFRegistry
+from repro.pig.latin import (
+    PigLatinError,
+    PigLatinInterpreter,
+    ScriptResult,
+    standard_bindings,
+)
+
+__all__ = [
+    "DistinctNode",
+    "FilterNode",
+    "FlattenNode",
+    "ForeachNode",
+    "GroupAllNode",
+    "GroupNode",
+    "JoinNode",
+    "LimitNode",
+    "LoadNode",
+    "OrderNode",
+    "UnionNode",
+    "PigRelation",
+    "PigServer",
+    "PlanError",
+    "PlanExecutor",
+    "ClientEventsLoader",
+    "FramedMessagesLoader",
+    "InMemoryLoader",
+    "SessionSequencesLoader",
+    "EvalFunc",
+    "UDFRegistry",
+    "PigLatinError",
+    "PigLatinInterpreter",
+    "ScriptResult",
+    "standard_bindings",
+]

@@ -1,0 +1,237 @@
+"""Compiles logical plans into MapReduce jobs and runs them.
+
+Compilation follows Pig's MR compiler shape:
+
+- chains of FOREACH/FLATTEN/FILTER fuse into the mapper of the next job
+  downstream (early projection/filtering before the shuffle, which is the
+  §4.1 optimization "the early projection and filtering keeps the amount
+  of data shuffling to a reasonable amount");
+- every GROUP/JOIN/DISTINCT/ORDER runs as its own MR job;
+- a plan that ends in map-side operators runs one final map-only job.
+
+Intermediate relations feed the next job through
+:class:`InMemoryInputFormat` (standing in for the temporary HDFS files
+real Pig writes between jobs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.inputformats import InMemoryInputFormat
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.jobtracker import JobTracker
+from repro.pig.plan import (
+    MAP_SIDE_NODES,
+    DistinctNode,
+    FilterNode,
+    FlattenNode,
+    ForeachNode,
+    GroupAllNode,
+    GroupNode,
+    JoinNode,
+    LimitNode,
+    LoadNode,
+    OrderNode,
+    UnionNode,
+)
+
+
+class PlanError(Exception):
+    """Raised for malformed plans."""
+
+
+class PlanExecutor:
+    """Executes one logical plan against the MR engine."""
+
+    def __init__(self, tracker: JobTracker,
+                 intermediate_records_per_split: int = 10_000) -> None:
+        self._tracker = tracker
+        self._per_split = intermediate_records_per_split
+
+    # -- public -----------------------------------------------------------
+    def execute(self, node: Any) -> List[Any]:
+        """Evaluate a plan node to its rows, running MR jobs as needed."""
+        rows, pending = self._execute(node)
+        if pending:
+            # Trailing map-side operators: run one final map-only job.
+            rows = self._run_map_only("final", rows, pending)
+        return rows
+
+    # -- recursive compilation -------------------------------------------
+    def _execute(self, node: Any) -> Tuple[List[Any], List[Any]]:
+        """Evaluate ``node``; returns (rows, pending_map_ops).
+
+        ``pending_map_ops`` are fused map-side operators not yet applied;
+        a downstream shuffle folds them into its mapper, or
+        :meth:`execute` runs them in a final map-only job.
+        """
+        if isinstance(node, LoadNode):
+            return [], [node]
+
+        if isinstance(node, MAP_SIDE_NODES):
+            rows, pending = self._execute(node.child)
+            return rows, pending + [node]
+
+        if isinstance(node, LimitNode):
+            rows = self.execute(node.child)
+            return rows[:node.count], []
+
+        if isinstance(node, UnionNode):
+            left = self.execute(node.left)
+            right = self.execute(node.right)
+            return left + right, []
+
+        if isinstance(node, GroupNode):
+            return self._run_shuffle(node, key_fn=node.key_fn,
+                                     reducer=_group_reducer), []
+
+        if isinstance(node, GroupAllNode):
+            return self._run_shuffle(node, key_fn=lambda row: "all",
+                                     reducer=_group_reducer,
+                                     num_reducers=1), []
+
+        if isinstance(node, DistinctNode):
+            return self._run_shuffle(node, key_fn=lambda row: row,
+                                     reducer=_distinct_reducer), []
+
+        if isinstance(node, OrderNode):
+            rows = self._run_shuffle(node, key_fn=lambda row: 0,
+                                     reducer=_collect_reducer,
+                                     num_reducers=1)
+            return sorted(rows, key=node.key_fn, reverse=node.reverse), []
+
+        if isinstance(node, JoinNode):
+            return self._run_join(node), []
+
+        raise PlanError(f"unknown plan node: {node!r}")
+
+    # -- job construction ------------------------------------------------
+    def _input_for(self, child: Any) -> Tuple[Any, List[Any]]:
+        """Input format + fused map ops for one upstream pipeline."""
+        rows, pending = self._execute(child)
+        if pending and isinstance(pending[0], LoadNode):
+            load, map_ops = pending[0], pending[1:]
+            return load.loader.input_format(), map_ops
+        return (InMemoryInputFormat(rows, self._per_split), pending)
+
+    def _run_shuffle(self, node: Any, key_fn: Callable[[Any], Any],
+                     reducer: Callable, num_reducers: int = 4) -> List[Any]:
+        input_format, map_ops = self._input_for(node.child)
+        transform = _fuse(map_ops)
+
+        def mapper(record: Any, ctx: TaskContext) -> None:
+            for row in transform(record):
+                ctx.emit(key_fn(row), row)
+
+        job = MapReduceJob(name=node.description, input_format=input_format,
+                           mapper=mapper, reducer=reducer,
+                           num_reducers=num_reducers)
+        result = run_job(job, self._tracker)
+        return [value for __, value in result.output]
+
+    def _run_join(self, node: JoinNode) -> List[Any]:
+        left_format, left_ops = self._input_for(node.left)
+        right_format, right_ops = self._input_for(node.right)
+        left_transform = _fuse(left_ops)
+        right_transform = _fuse(right_ops)
+        union = _TaggedUnionInputFormat(left_format, right_format)
+
+        def mapper(tagged: Tuple[int, Any], ctx: TaskContext) -> None:
+            tag, record = tagged
+            if tag == 0:
+                for row in left_transform(record):
+                    ctx.emit(node.left_key(row), (0, row))
+            else:
+                for row in right_transform(record):
+                    ctx.emit(node.right_key(row), (1, row))
+
+        def reducer(key: Any, values: List[Tuple[int, Any]],
+                    ctx: TaskContext) -> None:
+            lefts = [row for tag, row in values if tag == 0]
+            rights = [row for tag, row in values if tag == 1]
+            for lrow in lefts:
+                for rrow in rights:
+                    ctx.emit(key, {"key": key, "left": lrow, "right": rrow})
+
+        job = MapReduceJob(name=node.description, input_format=union,
+                           mapper=mapper, reducer=reducer)
+        result = run_job(job, self._tracker)
+        return [value for __, value in result.output]
+
+    def _run_map_only(self, name: str, rows: List[Any],
+                      pending: List[Any]) -> List[Any]:
+        if pending and isinstance(pending[0], LoadNode):
+            input_format = pending[0].loader.input_format()
+            map_ops = pending[1:]
+        else:
+            input_format = InMemoryInputFormat(rows, self._per_split)
+            map_ops = pending
+        transform = _fuse(map_ops)
+
+        def mapper(record: Any, ctx: TaskContext) -> None:
+            for row in transform(record):
+                ctx.emit(None, row)
+
+        job = MapReduceJob(name=name, input_format=input_format,
+                           mapper=mapper, reducer=None)
+        result = run_job(job, self._tracker)
+        return [value for __, value in result.output]
+
+
+class _TaggedSplit:
+    """A split of one side of a tagged union (keeps byte accounting)."""
+
+    def __init__(self, tag: int, split: Any) -> None:
+        self.tag = tag
+        self.split = split
+        self.length_bytes = split.length_bytes
+
+
+class _TaggedUnionInputFormat:
+    """Presents two input formats as one, tagging records by side."""
+
+    def __init__(self, left: Any, right: Any) -> None:
+        self._left = left
+        self._right = right
+
+    def splits(self) -> List[_TaggedSplit]:
+        return ([_TaggedSplit(0, s) for s in self._left.splits()]
+                + [_TaggedSplit(1, s) for s in self._right.splits()])
+
+    def read_split(self, tagged: _TaggedSplit) -> List[Any]:
+        side = self._left if tagged.tag == 0 else self._right
+        return [(tagged.tag, r) for r in side.read_split(tagged.split)]
+
+
+def _fuse(map_ops: List[Any]) -> Callable[[Any], List[Any]]:
+    """Fuse a chain of map-side operators into one record transform."""
+
+    def transform(record: Any) -> List[Any]:
+        rows = [record]
+        for op in map_ops:
+            if isinstance(op, ForeachNode):
+                rows = [op.fn(row) for row in rows]
+            elif isinstance(op, FlattenNode):
+                rows = [out for row in rows for out in op.fn(row)]
+            elif isinstance(op, FilterNode):
+                rows = [row for row in rows if op.predicate(row)]
+            else:  # pragma: no cover - plan builder prevents this
+                raise PlanError(f"non-fusable op in pipeline: {op!r}")
+        return rows
+
+    return transform
+
+
+def _group_reducer(key: Any, values: List[Any], ctx: TaskContext) -> None:
+    ctx.emit(key, {"group": key, "bag": values})
+
+
+def _distinct_reducer(key: Any, values: List[Any], ctx: TaskContext) -> None:
+    ctx.emit(key, values[0])
+
+
+def _collect_reducer(key: Any, values: List[Any], ctx: TaskContext) -> None:
+    for value in values:
+        ctx.emit(key, value)

@@ -1,0 +1,401 @@
+"""A Pig Latin interpreter for the dialect the paper's scripts use.
+
+§5.2 shows the canonical script::
+
+    define CountClientEvents CountClientEvents('$EVENTS');
+    raw = load '/session_sequences/$DATE/' using SessionSequencesLoader();
+    generated = foreach raw generate CountClientEvents(symbols);
+    grouped = group generated all;
+    count = foreach grouped generate SUM(generated);
+    dump count;
+
+This module parses and executes exactly that shape (plus FILTER, GROUP
+BY, FLATTEN, DISTINCT, LIMIT, and the COUNT variant §5.2 mentions),
+compiling onto the same plan/executor as the fluent API -- so scripts get
+real MR job boundaries and honest counters.
+
+Bindings are injected by the host: ``loaders`` maps loader names to
+factories called with the quoted path plus any arguments; ``udfs`` maps
+UDF names to factories called with the DEFINE arguments. ``$VARIABLES``
+are substituted textually before parsing, as Pig's parameter substitution
+does.
+
+Semantics notes (documented divergences kept small):
+
+- ``SUM(x)`` sums the group's values; ``COUNT(x)`` counts the non-null,
+  non-zero values, which is what makes the paper's "replacement of SUM by
+  COUNT" return sessions-containing-the-event when the generated value is
+  a per-session match count.
+- Field references resolve against row attributes, with ``symbols`` as
+  an alias for a session-sequence record's ``session_sequence`` (the
+  paper's name for that column) and ``*`` for the whole row.
+"""
+
+from __future__ import annotations
+
+import re
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.pig.relation import PigRelation, PigServer
+
+
+class PigLatinError(Exception):
+    """Raised for parse or execution errors in a script."""
+
+
+_STATEMENT_RE = re.compile(r"[^;]+;", re.DOTALL)
+
+_DEFINE_RE = re.compile(
+    r"^define\s+(?P<alias>\w+)\s+(?P<udf>\w+)\s*\((?P<args>[^)]*)\)$",
+    re.IGNORECASE)
+_LOAD_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*load\s+'(?P<path>[^']*)'"
+    r"(\s+using\s+(?P<loader>\w+)\s*\((?P<args>[^)]*)\))?$",
+    re.IGNORECASE)
+_FOREACH_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*foreach\s+(?P<src>\w+)\s+generate\s+"
+    r"(?P<expr>.+)$",
+    re.IGNORECASE)
+_FILTER_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*filter\s+(?P<src>\w+)\s+by\s+(?P<expr>.+)$",
+    re.IGNORECASE)
+_GROUP_ALL_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*group\s+(?P<src>\w+)\s+all$", re.IGNORECASE)
+_GROUP_BY_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*group\s+(?P<src>\w+)\s+by\s+(?P<field>\w+)$",
+    re.IGNORECASE)
+_DISTINCT_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*distinct\s+(?P<src>\w+)$", re.IGNORECASE)
+_LIMIT_RE = re.compile(
+    r"^(?P<alias>\w+)\s*=\s*limit\s+(?P<src>\w+)\s+(?P<n>\d+)$",
+    re.IGNORECASE)
+_DUMP_RE = re.compile(r"^dump\s+(?P<alias>\w+)$", re.IGNORECASE)
+_STORE_RE = re.compile(
+    r"^store\s+(?P<alias>\w+)\s+into\s+'(?P<path>[^']*)'"
+    r"(\s+using\s+(?P<storer>\w+)\s*\((?P<args>[^)]*)\))?$",
+    re.IGNORECASE)
+
+_CALL_RE = re.compile(r"^(?P<fn>\w+)\s*\((?P<arg>[^)]*)\)$")
+
+LoaderFactory = Callable[..., Any]
+UdfFactory = Callable[..., Callable[[Any], Any]]
+
+
+@dataclass
+class ScriptResult:
+    """Everything a script run produced."""
+
+    dumps: List[List[Any]] = field(default_factory=list)
+    aliases: Dict[str, PigRelation] = field(default_factory=dict)
+
+    @property
+    def last_dump(self) -> List[Any]:
+        """Rows of the script's final DUMP (error if none)."""
+        if not self.dumps:
+            raise PigLatinError("script contained no DUMP statement")
+        return self.dumps[-1]
+
+
+class PigLatinInterpreter:
+    """Parses and runs one script against a :class:`PigServer`."""
+
+    def __init__(self, server: PigServer,
+                 loaders: Optional[Dict[str, LoaderFactory]] = None,
+                 udfs: Optional[Dict[str, UdfFactory]] = None,
+                 variables: Optional[Dict[str, str]] = None,
+                 stores: Optional[Dict[str, Callable]] = None) -> None:
+        """``stores`` maps storer names to ``factory(path, *args)``
+        callables returning a ``store(rows)`` function. A STORE without
+        USING requires a binding named ``default``."""
+        self._server = server
+        self._loaders = dict(loaders or {})
+        self._udf_factories = dict(udfs or {})
+        self._variables = dict(variables or {})
+        self._stores = dict(stores or {})
+        self._defined: Dict[str, Callable[[Any], Any]] = {}
+        self._aliases: Dict[str, PigRelation] = {}
+
+    # -- public ------------------------------------------------------------
+    def run(self, script: str) -> ScriptResult:
+        """Execute a whole script; returns its dumps and aliases."""
+        result = ScriptResult()
+        for statement in self._statements(script):
+            dumped = self._execute(statement)
+            if dumped is not None:
+                result.dumps.append(dumped)
+        result.aliases = dict(self._aliases)
+        return result
+
+    # -- parsing ----------------------------------------------------------
+    def _statements(self, script: str) -> List[str]:
+        text = self._substitute(script)
+        # strip -- comments (line-wise, like Pig)
+        lines = []
+        for line in text.splitlines():
+            comment = line.find("--")
+            lines.append(line[:comment] if comment >= 0 else line)
+        text = "\n".join(lines)
+        out = []
+        for match in _STATEMENT_RE.finditer(text):
+            statement = " ".join(match.group(0)[:-1].split())
+            if statement:
+                out.append(statement)
+        return out
+
+    def _substitute(self, text: str) -> str:
+        def replace(match: "re.Match[str]") -> str:
+            name = match.group(1)
+            if name not in self._variables:
+                raise PigLatinError(f"undefined parameter ${name}")
+            return self._variables[name]
+
+        return re.sub(r"\$(\w+)", replace, text)
+
+    # -- execution ---------------------------------------------------------
+    def _execute(self, statement: str) -> Optional[List[Any]]:
+        match = _DEFINE_RE.match(statement)
+        if match:
+            self._do_define(match.group("alias"), match.group("udf"),
+                            match.group("args"))
+            return None
+        match = _LOAD_RE.match(statement)
+        if match:
+            self._do_load(match.group("alias"), match.group("path"),
+                          match.group("loader"), match.group("args"))
+            return None
+        match = _FOREACH_RE.match(statement)
+        if match:
+            self._do_foreach(match.group("alias"), match.group("src"),
+                             match.group("expr"))
+            return None
+        match = _FILTER_RE.match(statement)
+        if match:
+            self._do_filter(match.group("alias"), match.group("src"),
+                            match.group("expr"))
+            return None
+        match = _GROUP_ALL_RE.match(statement)
+        if match:
+            self._aliases[match.group("alias")] = \
+                self._relation(match.group("src")).group_all()
+            return None
+        match = _GROUP_BY_RE.match(statement)
+        if match:
+            field_name = match.group("field")
+            self._aliases[match.group("alias")] = \
+                self._relation(match.group("src")).group_by(
+                    lambda row, f=field_name: _resolve_field(row, f))
+            return None
+        match = _DISTINCT_RE.match(statement)
+        if match:
+            self._aliases[match.group("alias")] = \
+                self._relation(match.group("src")).distinct()
+            return None
+        match = _LIMIT_RE.match(statement)
+        if match:
+            self._aliases[match.group("alias")] = \
+                self._relation(match.group("src")).limit(
+                    int(match.group("n")))
+            return None
+        match = _DUMP_RE.match(statement)
+        if match:
+            return self._relation(match.group("alias")).dump()
+        match = _STORE_RE.match(statement)
+        if match:
+            self._do_store(match.group("alias"), match.group("path"),
+                           match.group("storer"), match.group("args"))
+            return None
+        raise PigLatinError(f"cannot parse statement: {statement!r}")
+
+    # -- statement handlers ------------------------------------------------
+    def _do_define(self, alias: str, udf_name: str, args_text: str) -> None:
+        factory = self._udf_factories.get(udf_name)
+        if factory is None:
+            raise PigLatinError(f"unknown UDF {udf_name!r} in DEFINE")
+        self._defined[alias] = factory(*_parse_args(args_text))
+
+    def _do_load(self, alias: str, path: str, loader_name: Optional[str],
+                 args_text: Optional[str]) -> None:
+        if loader_name is None:
+            raise PigLatinError(
+                f"LOAD '{path}' needs USING <loader> in this dialect")
+        factory = self._loaders.get(loader_name)
+        if factory is None:
+            raise PigLatinError(f"unknown loader {loader_name!r}")
+        loader = factory(path, *_parse_args(args_text or ""))
+        self._aliases[alias] = self._server.load(loader)
+
+    def _do_foreach(self, alias: str, src: str, expr: str) -> None:
+        relation = self._relation(src)
+        expr = expr.strip()
+        flatten_match = re.match(r"^flatten\s*\((?P<inner>.+)\)$", expr,
+                                 re.IGNORECASE)
+        if flatten_match:
+            fn = self._expression(flatten_match.group("inner"))
+            self._aliases[alias] = relation.flatten(
+                lambda row: list(fn(row)), description=f"flatten:{src}")
+            return
+        fn = self._expression(expr)
+        self._aliases[alias] = relation.foreach(fn,
+                                                description=f"foreach:{src}")
+
+    def _do_filter(self, alias: str, src: str, expr: str) -> None:
+        fn = self._expression(expr)
+        self._aliases[alias] = self._relation(src).filter(
+            lambda row: bool(fn(row)), description=f"filter:{src}")
+
+    def _do_store(self, alias: str, path: str,
+                  storer_name: Optional[str],
+                  args_text: Optional[str]) -> None:
+        name = storer_name or "default"
+        factory = self._stores.get(name)
+        if factory is None:
+            raise PigLatinError(f"unknown storer {name!r} in STORE")
+        store = factory(path, *_parse_args(args_text or ""))
+        store(self._relation(alias).dump())
+
+    # -- expression compilation ------------------------------------------
+    def _expression(self, text: str) -> Callable[[Any], Any]:
+        """Compile ``Udf(field)``, ``SUM(field)``, ``COUNT(field)``, or a
+        bare field reference into a row function."""
+        text = text.strip()
+        call = _CALL_RE.match(text)
+        if call:
+            fn_name = call.group("fn")
+            arg = call.group("arg").strip()
+            if fn_name.upper() == "SUM":
+                return lambda group: sum(
+                    _group_value(item, arg) for item in _bag_of(group))
+            if fn_name.upper() == "COUNT":
+                # counts non-null, non-zero values: the §5.2 variant
+                return lambda group: sum(
+                    1 for item in _bag_of(group) if _group_value(item, arg))
+            udf = self._defined.get(fn_name)
+            if udf is None:
+                raise PigLatinError(
+                    f"UDF {fn_name!r} used before DEFINE")
+            if arg in ("", "*"):
+                return udf
+            return lambda row, f=arg: udf(_resolve_field(row, f))
+        # bare field reference
+        return lambda row, f=text: _resolve_field(row, f)
+
+    def _relation(self, alias: str) -> PigRelation:
+        try:
+            return self._aliases[alias]
+        except KeyError as exc:
+            raise PigLatinError(f"unknown alias {alias!r}") from exc
+
+
+def _parse_args(text: str) -> List[str]:
+    """Parse a comma-separated list of 'quoted' arguments."""
+    text = text.strip()
+    if not text:
+        return []
+    out = []
+    for part in text.split(","):
+        part = part.strip()
+        if len(part) >= 2 and part[0] == "'" and part[-1] == "'":
+            out.append(part[1:-1])
+        elif part:
+            out.append(part)
+    return out
+
+
+def _resolve_field(row: Any, name: str) -> Any:
+    """Resolve a field reference against a row."""
+    if name == "*":
+        return row
+    if hasattr(row, name):
+        return getattr(row, name)
+    # the paper's scripts call a session sequence's string 'symbols'
+    if name == "symbols" and hasattr(row, "session_sequence"):
+        return row.session_sequence
+    if isinstance(row, dict) and name in row:
+        return row[name]
+    if isinstance(row, dict) and name == "group":
+        return row.get("group")
+    # FOREACH after GROUP often names the pre-group alias: the bag
+    if isinstance(row, dict) and "bag" in row:
+        return row["bag"]
+    raise PigLatinError(f"cannot resolve field {name!r} on {type(row).__name__}")
+
+
+def _group_value(item: Any, arg: str) -> Any:
+    """Resolve an aggregate's argument against one bag item.
+
+    In Pig, ``SUM(generated)`` names the pre-group relation; when our bag
+    items are the generated scalars themselves, the name resolves to the
+    item. When items are structured rows, resolve the field normally.
+    """
+    if arg in ("", "*"):
+        return item
+    try:
+        return _resolve_field(item, arg)
+    except PigLatinError:
+        return item
+
+
+def _bag_of(group: Any) -> Sequence[Any]:
+    if isinstance(group, dict) and "bag" in group:
+        return group["bag"]
+    raise PigLatinError("SUM/COUNT expects a grouped relation")
+
+
+def standard_bindings(warehouse, dictionary=None) -> Dict[str, Dict]:
+    """The loader and UDF bindings the paper's scripts need.
+
+    Loaders parse the date out of the quoted path
+    (``/session_sequences/2012/03/10/``); UDFs receive their DEFINE
+    arguments plus the day's dictionary.
+    """
+    from repro.analytics.counting import CountClientEvents, SessionsWithEvent
+    from repro.analytics.funnel import ClientEventsFunnel
+    from repro.pig.loaders import ClientEventsLoader, SessionSequencesLoader
+
+    def parse_date(path: str):
+        parts = [p for p in path.split("/") if p]
+        try:
+            year, month, day = (int(parts[-3]), int(parts[-2]),
+                                int(parts[-1]))
+        except (ValueError, IndexError) as exc:
+            raise PigLatinError(
+                f"path {path!r} must end in YYYY/MM/DD") from exc
+        return year, month, day
+
+    loaders = {
+        "SessionSequencesLoader": lambda path: SessionSequencesLoader(
+            warehouse, *parse_date(path)),
+        "ClientEventsLoader": lambda path: ClientEventsLoader(
+            warehouse, *parse_date(path)),
+    }
+    def json_storage(path: str):
+        import json as _json
+
+        def store(rows):
+            def plain(row):
+                if hasattr(row, "to_dict"):
+                    return row.to_dict()
+                return row
+
+            payload = "\n".join(_json.dumps(plain(r), sort_keys=True,
+                                             default=str)
+                                 for r in rows).encode("utf-8")
+            warehouse.create(path, payload, codec="zlib", overwrite=True)
+
+        return store
+
+    stores = {"JsonStorage": json_storage, "default": json_storage}
+
+    udfs = {}
+    if dictionary is not None:
+        udfs = {
+            "CountClientEvents": lambda pattern: CountClientEvents(
+                pattern, dictionary),
+            "SessionsWithEvent": lambda pattern: SessionsWithEvent(
+                pattern, dictionary),
+            "ClientEventsFunnel": lambda *stages: ClientEventsFunnel(
+                list(stages), dictionary),
+        }
+    return {"loaders": loaders, "udfs": udfs, "stores": stores}

@@ -1,0 +1,107 @@
+"""Pig loaders over warehouse data.
+
+"A custom Pig loader abstracts over details of the physical layout of
+session sequences, transparently parsing each field in the tuple and
+handling decompression" (§5.2). The same pattern serves the raw client
+event logs; Elephant-Bird-derived readers do the record decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.core.event import CLIENT_EVENTS_CATEGORY, ClientEvent
+from repro.core.sequences import SessionSequenceRecord
+from repro.hdfs.layout import LogHour, day_path, sequences_day_path
+from repro.hdfs.namenode import HDFS
+from repro.mapreduce.inputformats import FileInputFormat, InMemoryInputFormat
+from repro.thriftlike.codegen import ThriftFileFormat
+
+_EVENT_FORMAT = ThriftFileFormat(ClientEvent)
+_SEQUENCE_FORMAT = ThriftFileFormat(SessionSequenceRecord)
+
+
+class ClientEventsLoader:
+    """LOAD '/logs/client_events/<date>' USING ClientEventsLoader().
+
+    Rows are :class:`ClientEvent` structs. Load a whole day or a list of
+    specific hours.
+    """
+
+    def __init__(self, warehouse: HDFS, year: int, month: int, day: int,
+                 hours: Optional[Sequence[int]] = None,
+                 category: str = CLIENT_EVENTS_CATEGORY) -> None:
+        self._warehouse = warehouse
+        self._category = category
+        self._year, self._month, self._day = year, month, day
+        self._hours = list(hours) if hours is not None else None
+
+    def paths(self) -> List[str]:
+        """The warehouse files this loader covers."""
+        if self._hours is None:
+            directory = day_path(self._category, self._year, self._month,
+                                 self._day)
+            return self._warehouse.glob_files(directory)
+        out: List[str] = []
+        for hour in self._hours:
+            log_hour = LogHour(self._category, self._year, self._month,
+                               self._day, hour)
+            out.extend(self._warehouse.glob_files(log_hour.path()))
+        return out
+
+    def input_format(self) -> FileInputFormat:
+        """Block-per-split input format over the covered files."""
+        return FileInputFormat(self._warehouse, self.paths(),
+                               _EVENT_FORMAT.decode)
+
+
+class SessionSequencesLoader:
+    """LOAD '/session_sequences/$DATE' USING SessionSequencesLoader().
+
+    Rows are :class:`SessionSequenceRecord` structs: user_id, session_id,
+    ip, session_sequence (unicode string), duration.
+    """
+
+    def __init__(self, warehouse: HDFS, year: int, month: int,
+                 day: int) -> None:
+        self._warehouse = warehouse
+        self._year, self._month, self._day = year, month, day
+
+    def paths(self) -> List[str]:
+        """The day's session-sequence part files."""
+        directory = sequences_day_path(self._year, self._month, self._day)
+        return self._warehouse.glob_files(directory)
+
+    def input_format(self) -> FileInputFormat:
+        """Block-per-split input format over the sequence store."""
+        return FileInputFormat(self._warehouse, self.paths(),
+                               _SEQUENCE_FORMAT.decode)
+
+
+class FramedMessagesLoader:
+    """Loader over raw framed message files (bytes rows)."""
+
+    def __init__(self, fs: HDFS, directory: str) -> None:
+        from repro.scribe.aggregator import decode_messages
+
+        self._fs = fs
+        self._directory = directory
+        self._decode = decode_messages
+
+    def input_format(self) -> FileInputFormat:
+        """Input format yielding raw framed message bytes."""
+        return FileInputFormat.over_directory(self._fs, self._directory,
+                                              self._decode)
+
+
+class InMemoryLoader:
+    """Loader over in-memory rows (tests, small tables like `users`)."""
+
+    def __init__(self, rows: Sequence[Any],
+                 records_per_split: int = 10_000) -> None:
+        self._rows = list(rows)
+        self._per_split = records_per_split
+
+    def input_format(self) -> InMemoryInputFormat:
+        """Input format over the in-memory rows."""
+        return InMemoryInputFormat(self._rows, self._per_split)

@@ -1,0 +1,134 @@
+"""Logical plan nodes for the Pig-like dataflow layer.
+
+"Production jobs and ad hoc queries are performed mostly using Pig, a
+high-level dataflow language that compiles into physical plans that are
+executed on Hadoop" (§3). We reproduce the same architecture: scripts
+build a logical plan of relational operators; the executor in
+:mod:`repro.pig.executor` compiles pipelined segments into MapReduce jobs,
+with one job per shuffle boundary (group/cogroup/join/distinct/order),
+exactly as Pig's MR compiler does. That preserved structure is what makes
+mapper counts and shuffle volumes honest in the benchmarks.
+
+Rows are arbitrary Python objects; structural operators produce dicts
+(``{"group": key, "bag": [rows]}``) mirroring Pig's group semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List
+
+Row = Any
+RowFn = Callable[[Row], Row]
+FlatMapFn = Callable[[Row], List[Row]]
+Predicate = Callable[[Row], bool]
+KeyFn = Callable[[Row], Any]
+
+
+@dataclass(frozen=True)
+class LoadNode:
+    """LOAD: a loader supplying an input format over HDFS files."""
+
+    loader: Any  # must expose .input_format() -> FileInputFormat
+
+    description: str = "load"
+
+
+@dataclass(frozen=True)
+class ForeachNode:
+    """FOREACH ... GENERATE: per-row transformation (map-side, fused)."""
+
+    child: Any
+    fn: RowFn
+    description: str = "foreach"
+
+
+@dataclass(frozen=True)
+class FlattenNode:
+    """FOREACH ... GENERATE FLATTEN: one row to many (map-side, fused)."""
+
+    child: Any
+    fn: FlatMapFn
+    description: str = "flatten"
+
+
+@dataclass(frozen=True)
+class FilterNode:
+    """FILTER BY: per-row predicate (map-side, fused)."""
+
+    child: Any
+    predicate: Predicate
+    description: str = "filter"
+
+
+@dataclass(frozen=True)
+class GroupNode:
+    """GROUP BY: shuffle boundary producing {"group", "bag"} rows."""
+
+    child: Any
+    key_fn: KeyFn
+    description: str = "group"
+
+
+@dataclass(frozen=True)
+class GroupAllNode:
+    """GROUP ALL: single-group shuffle used before global aggregates."""
+
+    child: Any
+    description: str = "group_all"
+
+
+@dataclass(frozen=True)
+class JoinNode:
+    """JOIN: equijoin of two relations (shuffle boundary)."""
+
+    left: Any
+    right: Any
+    left_key: KeyFn
+    right_key: KeyFn
+    description: str = "join"
+
+
+@dataclass(frozen=True)
+class DistinctNode:
+    """DISTINCT: duplicate elimination (shuffle boundary)."""
+
+    child: Any
+    description: str = "distinct"
+
+
+@dataclass(frozen=True)
+class OrderNode:
+    """ORDER BY: global sort (shuffle boundary)."""
+
+    child: Any
+    key_fn: KeyFn
+    reverse: bool = False
+    description: str = "order"
+
+
+@dataclass(frozen=True)
+class LimitNode:
+    """LIMIT: truncation (applied after its child materializes)."""
+
+    child: Any
+    count: int
+    description: str = "limit"
+
+
+@dataclass(frozen=True)
+class UnionNode:
+    """UNION: bag union of two relations."""
+
+    left: Any
+    right: Any
+    description: str = "union"
+
+
+PlanNode = Any
+
+#: Nodes that force a shuffle (and therefore their own MR job).
+SHUFFLE_NODES = (GroupNode, GroupAllNode, JoinNode, DistinctNode, OrderNode)
+
+#: Nodes fused into the mapper of the next downstream job.
+MAP_SIDE_NODES = (ForeachNode, FlattenNode, FilterNode)

@@ -1,0 +1,55 @@
+"""UDF support: the DEFINE mechanism and an EvalFunc base class.
+
+Pig scripts at Twitter retain "the full expressiveness of Java ... through
+a library of custom UDFs" (§3). Here a UDF is any callable; `EvalFunc`
+gives parameterized UDFs the two-phase construction Pig's DEFINE provides
+(constructor args at definition time, row at call time), and
+:class:`UDFRegistry` plays the role of the DEFINE statement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+
+class EvalFunc:
+    """Base class for parameterized row UDFs.
+
+    Subclasses implement :meth:`exec` (named after Pig's EvalFunc.exec).
+    Instances are callable so they drop into ``foreach`` directly.
+    """
+
+    def exec(self, row: Any) -> Any:  # noqa: A003 - Pig's name
+        """Evaluate the UDF on one row (subclasses implement)."""
+        raise NotImplementedError
+
+    def __call__(self, row: Any) -> Any:
+        return self.exec(row)
+
+
+class UDFRegistry:
+    """Named UDF definitions: ``define('CountClientEvents', udf)``."""
+
+    def __init__(self) -> None:
+        self._udfs: Dict[str, Callable] = {}
+
+    def define(self, name: str, udf: Callable) -> Callable:
+        """Register a UDF under a script-visible name."""
+        if not callable(udf):
+            raise TypeError(f"UDF {name!r} is not callable")
+        self._udfs[name] = udf
+        return udf
+
+    def lookup(self, name: str) -> Callable:
+        """The UDF registered under ``name`` (KeyError if absent)."""
+        try:
+            return self._udfs[name]
+        except KeyError as exc:
+            raise KeyError(f"UDF not defined: {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._udfs
+
+    def names(self):
+        """All registered UDF names, sorted."""
+        return sorted(self._udfs)

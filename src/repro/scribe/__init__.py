@@ -1,0 +1,61 @@
+"""Scribe message delivery: daemons, aggregators, discovery, ZooKeeper."""
+
+from repro.scribe.message import (
+    CategoryConfig,
+    CategoryRegistry,
+    InvalidCategoryError,
+    LogEntry,
+    validate_category,
+)
+from repro.scribe.zookeeper import (
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    Session,
+    SessionExpiredError,
+    ZooKeeper,
+    ZooKeeperError,
+)
+from repro.scribe.discovery import (
+    AGGREGATOR_ROOT,
+    AggregatorDiscovery,
+    register_aggregator,
+    registration_path,
+)
+from repro.scribe.aggregator import (
+    AggregatorDownError,
+    AggregatorStats,
+    ScribeAggregator,
+    decode_messages,
+    encode_messages,
+)
+from repro.scribe.daemon import DaemonStats, ScribeDaemon
+from repro.scribe.cluster import Datacenter, ScribeDeployment
+
+__all__ = [
+    "CategoryConfig",
+    "CategoryRegistry",
+    "InvalidCategoryError",
+    "LogEntry",
+    "validate_category",
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+    "Session",
+    "SessionExpiredError",
+    "ZooKeeper",
+    "ZooKeeperError",
+    "AGGREGATOR_ROOT",
+    "AggregatorDiscovery",
+    "register_aggregator",
+    "registration_path",
+    "AggregatorDownError",
+    "AggregatorStats",
+    "ScribeAggregator",
+    "decode_messages",
+    "encode_messages",
+    "DaemonStats",
+    "ScribeDaemon",
+    "Datacenter",
+    "ScribeDeployment",
+]

@@ -1,0 +1,206 @@
+"""Scribe aggregators: merge per-category streams onto staging HDFS.
+
+§2: "The aggregators in each datacenter are co-located with a staging
+Hadoop cluster. Their task is to merge per-category streams from all the
+server daemons and write the merged results to HDFS (of the staging Hadoop
+cluster), compressing data on the fly." They also "buffer data on local
+disk in case of HDFS outages".
+
+Staging files are framed message streams: each file holds the messages of
+one category for one hour, written as varint-length-prefixed frames and
+compressed with the category's codec.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import LogicalClock
+from repro.hdfs.layout import LogHour, hour_for_millis, staging_path
+from repro.hdfs.namenode import HDFS, HDFSUnavailableError
+from repro.scribe.discovery import register_aggregator
+from repro.scribe.message import CategoryRegistry, LogEntry
+from repro.scribe.zookeeper import Session, ZooKeeper
+from repro.thriftlike.codegen import frame, iter_frames
+
+
+class AggregatorDownError(Exception):
+    """Raised when a daemon sends to a crashed aggregator."""
+
+
+def encode_messages(messages: List[bytes]) -> bytes:
+    """Concatenate messages as varint-framed records."""
+    buf = io.BytesIO()
+    for message in messages:
+        buf.write(frame(message))
+    return buf.getvalue()
+
+
+def decode_messages(data: bytes) -> List[bytes]:
+    """Inverse of :func:`encode_messages`."""
+    return list(iter_frames(data))
+
+
+@dataclass
+class AggregatorStats:
+    """Counters for tests and the delivery benchmark."""
+
+    received: int = 0
+    written: int = 0
+    buffered_on_disk: int = 0
+    files_written: int = 0
+    lost_in_crash: int = 0
+
+
+class ScribeAggregator:
+    """One aggregator process in one datacenter."""
+
+    def __init__(self, name: str, datacenter: str, zk: ZooKeeper,
+                 staging: HDFS, clock: LogicalClock,
+                 categories: Optional[CategoryRegistry] = None,
+                 durable: bool = False) -> None:
+        self.name = name
+        self.datacenter = datacenter
+        self._zk = zk
+        self._staging = staging
+        self._clock = clock
+        self._categories = categories or CategoryRegistry()
+        self._session: Optional[Session] = None
+        # With ``durable`` every accepted message also lands in a local
+        # write-ahead buffer (Scribe's store-and-forward file buffer), so a
+        # crash only loses the registration, not pending data.
+        self._durable = durable
+        self._wal: List[Tuple[str, bytes]] = []
+        # (category, hour) -> pending messages not yet rolled to HDFS.
+        self._pending: Dict[Tuple[str, LogHour], List[bytes]] = {}
+        # Local-disk buffer used during HDFS outages: list of fully-encoded
+        # files waiting to be replayed.
+        self._disk_buffer: List[Tuple[str, bytes, str]] = []
+        self._part_counter = 0
+        self.stats = AggregatorStats()
+        self.alive = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Register in ZooKeeper and begin accepting messages.
+
+        A durable aggregator replays its write-ahead buffer on restart,
+        recovering messages that were accepted but unrolled at crash time.
+        """
+        if self.alive:
+            return
+        self._session = register_aggregator(self._zk, self.datacenter,
+                                            self.name)
+        self.alive = True
+        if self._durable and self._wal:
+            replay, self._wal = self._wal, []
+            for category, message in replay:
+                self.receive(LogEntry(category, message))
+
+    def crash(self) -> None:
+        """Simulate a crash: the ZooKeeper session ends, the ephemeral
+        registration disappears, and any pending in-memory data is lost
+        unless the aggregator is durable (write-ahead buffer)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        self.alive = False
+        lost = sum(len(v) for v in self._pending.values())
+        self._pending.clear()
+        if not self._durable:
+            self.stats.lost_in_crash += lost
+
+    def shutdown(self) -> None:
+        """Graceful stop: flush everything, then deregister."""
+        self.flush()
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        self.alive = False
+
+    # -- ingest ----------------------------------------------------------
+    def receive(self, entry: LogEntry) -> None:
+        """Accept one log entry from a daemon."""
+        if not self.alive:
+            raise AggregatorDownError(f"aggregator {self.name} is down")
+        hour = hour_for_millis(entry.category, self._clock.now())
+        key = (entry.category, hour)
+        bucket = self._pending.setdefault(key, [])
+        bucket.append(entry.message)
+        if self._durable:
+            self._wal.append((entry.category, entry.message))
+        self.stats.received += 1
+        config = self._categories.get(entry.category)
+        if len(bucket) >= config.max_file_records:
+            self._roll(key)
+
+    # -- rolling to staging HDFS ------------------------------------------
+    def flush(self) -> None:
+        """Roll all pending buckets and retry any disk-buffered files."""
+        self.retry_disk_buffer()
+        for key in sorted(self._pending, key=lambda k: (k[0], k[1])):
+            self._roll(key)
+
+    def _roll(self, key: Tuple[str, LogHour]) -> None:
+        messages = self._pending.pop(key, [])
+        if not messages:
+            return
+        category, hour = key
+        config = self._categories.get(category)
+        data = encode_messages(messages)
+        path = self._next_part_path(hour)
+        try:
+            self._staging.create(path, data, codec=config.codec)
+        except HDFSUnavailableError:
+            # §2: buffer on local disk in case of HDFS outages.
+            self._disk_buffer.append((path, data, config.codec))
+            self.stats.buffered_on_disk += len(messages)
+            return
+        self.stats.written += len(messages)
+        self.stats.files_written += 1
+        if self._durable:
+            self._trim_wal(category, messages)
+
+    def _trim_wal(self, category: str, messages: List[bytes]) -> None:
+        """Drop rolled messages from the write-ahead buffer."""
+        remaining = list(messages)
+        kept: List[Tuple[str, bytes]] = []
+        for wal_category, wal_message in self._wal:
+            if wal_category == category and wal_message in remaining:
+                remaining.remove(wal_message)
+            else:
+                kept.append((wal_category, wal_message))
+        self._wal = kept
+
+    def retry_disk_buffer(self) -> int:
+        """Replay disk-buffered files; returns how many files landed."""
+        landed = 0
+        remaining: List[Tuple[str, bytes, str]] = []
+        for path, data, codec in self._disk_buffer:
+            try:
+                self._staging.create(path, data, codec=codec)
+            except HDFSUnavailableError:
+                remaining.append((path, data, codec))
+                continue
+            landed += 1
+            self.stats.files_written += 1
+            self.stats.written += len(decode_messages(data))
+            self.stats.buffered_on_disk -= len(decode_messages(data))
+        self._disk_buffer = remaining
+        return landed
+
+    def _next_part_path(self, hour: LogHour) -> str:
+        self._part_counter += 1
+        directory = staging_path(self.datacenter, hour)
+        return f"{directory}/{self.name}-part-{self._part_counter:05d}"
+
+    @property
+    def disk_buffered_files(self) -> int:
+        """Files waiting on local disk for HDFS to return."""
+        return len(self._disk_buffer)
+
+    def __repr__(self) -> str:
+        return (f"ScribeAggregator({self.name!r}, dc={self.datacenter!r}, "
+                f"alive={self.alive})")

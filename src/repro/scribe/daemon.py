@@ -1,0 +1,134 @@
+"""Per-host Scribe daemons.
+
+§2: "A Scribe daemon runs on every production host and is responsible for
+sending local log data across the network to a cluster of dedicated
+aggregators in the same datacenter." On aggregator failure, daemons
+"simply check ZooKeeper again to find another live aggregator"; while no
+aggregator is reachable they buffer locally and replay on reconnect, which
+is what makes the pipeline "robust with respect to transient failures".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.scribe.aggregator import AggregatorDownError, ScribeAggregator
+from repro.scribe.discovery import AggregatorDiscovery
+from repro.scribe.message import LogEntry
+
+
+@dataclass
+class DaemonStats:
+    """Counters for tests and the delivery benchmark."""
+
+    accepted: int = 0
+    sent: int = 0
+    buffered: int = 0
+    resent: int = 0
+    failovers: int = 0
+
+
+class ScribeDaemon:
+    """The daemon on one production host.
+
+    ``resolve`` maps an aggregator name (from ZooKeeper) to the live
+    aggregator object -- it models the network connection; a crashed
+    aggregator either resolves to a dead object (send raises) or to None
+    (connection refused).
+    """
+
+    def __init__(self, host: str, discovery: AggregatorDiscovery,
+                 resolve: Callable[[str], Optional[ScribeAggregator]],
+                 max_buffer: Optional[int] = None) -> None:
+        self.host = host
+        self._discovery = discovery
+        self._resolve = resolve
+        self._connected: Optional[str] = None
+        self._buffer: List[LogEntry] = []
+        self._max_buffer = max_buffer
+        self.stats = DaemonStats()
+
+    # -- public API ----------------------------------------------------
+    def log(self, entry: LogEntry) -> None:
+        """Queue one entry for delivery, sending immediately if possible."""
+        self.stats.accepted += 1
+        if not self._send(entry):
+            self._enqueue(entry)
+
+    def flush(self) -> int:
+        """Replay buffered entries; returns how many were delivered."""
+        if not self._buffer:
+            return 0
+        pending = self._buffer
+        self._buffer = []
+        delivered = 0
+        for entry in pending:
+            if self._send(entry):
+                delivered += 1
+                self.stats.resent += 1
+            else:
+                self._buffer.append(entry)
+        return delivered
+
+    @property
+    def buffered(self) -> int:
+        """Entries currently buffered awaiting an aggregator."""
+        return len(self._buffer)
+
+    @property
+    def connected_to(self) -> Optional[str]:
+        """Name of the currently-connected aggregator, or None."""
+        return self._connected
+
+    # -- internals -----------------------------------------------------
+    def _send(self, entry: LogEntry) -> bool:
+        aggregator = self._current_aggregator()
+        if aggregator is None:
+            return False
+        try:
+            aggregator.receive(entry)
+        except AggregatorDownError:
+            # Stale connection: the aggregator died between our ZooKeeper
+            # lookup and this send. Re-discover and retry once.
+            failed = self._connected
+            self._connected = None
+            self.stats.failovers += 1
+            aggregator = self._current_aggregator(exclude=failed)
+            if aggregator is None:
+                return False
+            try:
+                aggregator.receive(entry)
+            except AggregatorDownError:
+                self._connected = None
+                return False
+        self.stats.sent += 1
+        return True
+
+    def _current_aggregator(
+            self, exclude: Optional[str] = None) -> Optional[ScribeAggregator]:
+        if self._connected is not None:
+            aggregator = self._resolve(self._connected)
+            if aggregator is not None and aggregator.alive:
+                return aggregator
+            self._connected = None
+            self.stats.failovers += 1
+        name = self._discovery.pick(exclude=exclude)
+        if name is None:
+            return None
+        aggregator = self._resolve(name)
+        if aggregator is None or not aggregator.alive:
+            return None
+        self._connected = name
+        return aggregator
+
+    def _enqueue(self, entry: LogEntry) -> None:
+        if self._max_buffer is not None and len(self._buffer) >= self._max_buffer:
+            # Drop-oldest policy under overload; real Scribe drops too.
+            self._buffer.pop(0)
+        self._buffer.append(entry)
+        self.stats.buffered += 1
+
+    def __repr__(self) -> str:
+        return (f"ScribeDaemon(host={self.host!r}, "
+                f"connected={self._connected!r}, buffered={self.buffered})")

@@ -1,0 +1,82 @@
+"""Aggregator discovery via ZooKeeper ephemeral znodes.
+
+Aggregators register under ``/scribe/aggregators/<datacenter>/<name>`` with
+an ephemeral znode; daemons list that directory to pick a live aggregator.
+When an aggregator crashes, its session ends, the znode disappears, and
+daemons "simply check ZooKeeper again to find another live aggregator"
+(§2). The same listing is what balances load across aggregators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.scribe.zookeeper import NoNodeError, Session, ZooKeeper
+
+AGGREGATOR_ROOT = "/scribe/aggregators"
+
+
+def registration_path(datacenter: str) -> str:
+    """Directory in which a datacenter's aggregators register."""
+    return f"{AGGREGATOR_ROOT}/{datacenter}"
+
+
+def register_aggregator(zk: ZooKeeper, datacenter: str,
+                        name: str) -> Session:
+    """Register an aggregator; returns the session keeping it alive."""
+    zk.ensure_path(registration_path(datacenter))
+    session = zk.connect()
+    session.create(f"{registration_path(datacenter)}/{name}",
+                   data=name.encode("utf-8"), ephemeral=True)
+    return session
+
+
+class AggregatorDiscovery:
+    """Daemon-side view of live aggregators in one datacenter.
+
+    The listing is cached and invalidated by a ZooKeeper child watch, so
+    steady-state picks cost no coordination traffic; any aggregator
+    registration or ephemeral-node disappearance (crash) fires the watch
+    and forces a re-read -- how production Scribe daemons avoided
+    hammering ZooKeeper.
+    """
+
+    def __init__(self, zk: ZooKeeper, datacenter: str,
+                 seed: int = 0) -> None:
+        self._zk = zk
+        self._datacenter = datacenter
+        self._rng = random.Random(seed)
+        self._cache: Optional[List[str]] = None
+        self.zk_reads = 0  # observability for tests/benchmarks
+
+    def _invalidate(self, kind: str, path: str) -> None:
+        self._cache = None
+
+    def live_aggregators(self) -> List[str]:
+        """Names of currently-registered aggregators (may be empty)."""
+        if self._cache is not None:
+            return self._cache
+        try:
+            self.zk_reads += 1
+            self._cache = self._zk.get_children(
+                registration_path(self._datacenter),
+                watch=self._invalidate)
+        except NoNodeError:
+            # no registration root yet: do not cache, keep checking
+            return []
+        return self._cache
+
+    def pick(self, exclude: Optional[str] = None) -> Optional[str]:
+        """Pick a live aggregator at random, optionally avoiding one.
+
+        Random choice over the ephemeral children is the load-balancing
+        mechanism; ``exclude`` lets a daemon avoid immediately re-picking
+        the aggregator it just observed failing.
+        """
+        candidates = self.live_aggregators()
+        if exclude is not None and len(candidates) > 1:
+            candidates = [c for c in candidates if c != exclude]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)

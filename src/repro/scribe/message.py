@@ -1,0 +1,95 @@
+"""The Scribe log entry: a (category, message) pair.
+
+§2: "Each log entry consists of two strings, a category and a message. The
+category is associated with configuration metadata that determine, among
+other things, where the data is written."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict
+
+_CATEGORY_RE = re.compile(r"^[a-z0-9_\-]+$")
+
+
+class InvalidCategoryError(ValueError):
+    """Raised for category names outside the allowed charset."""
+
+
+def validate_category(category: str) -> str:
+    """Categories are lowercase tokens: they become HDFS directory names."""
+    if not _CATEGORY_RE.match(category):
+        raise InvalidCategoryError(
+            f"invalid scribe category {category!r}: must match "
+            f"{_CATEGORY_RE.pattern}"
+        )
+    return category
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One message handed to the local Scribe daemon."""
+
+    category: str
+    message: bytes
+
+    def __post_init__(self) -> None:
+        validate_category(self.category)
+        if not isinstance(self.message, bytes):
+            raise TypeError("message must be bytes")
+
+    @property
+    def size(self) -> int:
+        """Approximate wire size of the entry."""
+        return len(self.category) + len(self.message)
+
+
+@dataclass
+class CategoryConfig:
+    """Per-category configuration metadata.
+
+    ``codec`` controls the compression aggregators apply when writing the
+    merged stream to staging HDFS; ``max_file_records`` bounds how many
+    entries an aggregator accumulates before rolling a staging file.
+    """
+
+    category: str
+    codec: str = "zlib"
+    max_file_records: int = 10_000
+
+    def __post_init__(self) -> None:
+        validate_category(self.category)
+        if self.max_file_records <= 0:
+            raise ValueError("max_file_records must be positive")
+
+
+class CategoryRegistry:
+    """Registry of category configurations with a default fallback."""
+
+    def __init__(self, default_codec: str = "zlib",
+                 default_max_file_records: int = 10_000) -> None:
+        self._configs: Dict[str, CategoryConfig] = {}
+        self._default_codec = default_codec
+        self._default_max = default_max_file_records
+
+    def register(self, config: CategoryConfig) -> None:
+        """Register an explicit category configuration."""
+        self._configs[config.category] = config
+
+    def get(self, category: str) -> CategoryConfig:
+        """The category's configuration (created with defaults if new)."""
+        config = self._configs.get(category)
+        if config is None:
+            config = CategoryConfig(
+                category=category,
+                codec=self._default_codec,
+                max_file_records=self._default_max,
+            )
+            self._configs[category] = config
+        return config
+
+    def categories(self):
+        """All known category names, sorted."""
+        return sorted(self._configs)

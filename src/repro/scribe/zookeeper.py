@@ -1,0 +1,235 @@
+"""A simulated ZooKeeper: hierarchical znodes, sessions, ephemerals, watches.
+
+§2: aggregators "register themselves at a fixed location using what is
+known as an 'ephemeral' znode, which exists only for the duration of a
+client session; the Scribe daemons consult this location to find a live
+aggregator". The pieces needed for that contract are implemented:
+
+- a tree of znodes addressed by slash-separated paths;
+- sessions, and ephemeral znodes that vanish when their session ends;
+- sequential znodes (monotone suffix per parent);
+- one-shot watches on node existence and on a parent's child list.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+
+class ZooKeeperError(Exception):
+    """Base error."""
+
+
+class NoNodeError(ZooKeeperError):
+    """Path does not exist."""
+
+
+class NodeExistsError(ZooKeeperError):
+    """Path already exists."""
+
+
+class SessionExpiredError(ZooKeeperError):
+    """Operation attempted on a closed session."""
+
+
+class NotEmptyError(ZooKeeperError):
+    """Delete attempted on a znode with children."""
+
+
+@dataclass
+class _ZNode:
+    data: bytes = b""
+    ephemeral_owner: Optional[int] = None
+    children: Set[str] = field(default_factory=set)
+    sequence_counter: int = 0
+    version: int = 0
+
+
+WatchCallback = Callable[[str, str], None]  # (event_kind, path)
+
+
+class Session:
+    """Handle for one client's connection to ZooKeeper."""
+
+    def __init__(self, zk: "ZooKeeper", session_id: int) -> None:
+        self._zk = zk
+        self.session_id = session_id
+        self.alive = True
+
+    def close(self) -> None:
+        """End the session; all its ephemeral znodes disappear."""
+        if self.alive:
+            self._zk._close_session(self.session_id)
+            self.alive = False
+
+    def _check(self) -> None:
+        if not self.alive:
+            raise SessionExpiredError(f"session {self.session_id} expired")
+
+    # Convenience proxies -----------------------------------------------
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False) -> str:
+        """Create a znode within this session."""
+        self._check()
+        return self._zk.create(path, data, ephemeral=ephemeral,
+                               sequential=sequential, session=self)
+
+    def delete(self, path: str) -> None:
+        """Delete a znode within this session."""
+        self._check()
+        self._zk.delete(path)
+
+    def set_data(self, path: str, data: bytes) -> None:
+        """Replace a znode's data within this session."""
+        self._check()
+        self._zk.set_data(path, data)
+
+
+class ZooKeeper:
+    """The coordination service. One instance per simulation."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _ZNode] = {"/": _ZNode()}
+        self._sessions: Dict[int, Session] = {}
+        self._session_ephemerals: Dict[int, Set[str]] = {}
+        self._next_session_id = 1
+        self._exists_watches: Dict[str, List[WatchCallback]] = {}
+        self._child_watches: Dict[str, List[WatchCallback]] = {}
+
+    # -- sessions ----------------------------------------------------------
+    def connect(self) -> Session:
+        """Open a new client session."""
+        session = Session(self, self._next_session_id)
+        self._sessions[session.session_id] = session
+        self._session_ephemerals[session.session_id] = set()
+        self._next_session_id += 1
+        return session
+
+    def _close_session(self, session_id: int) -> None:
+        ephemerals = self._session_ephemerals.pop(session_id, set())
+        # Delete deepest-first so parents empty out before their turn.
+        for path in sorted(ephemerals, key=len, reverse=True):
+            if path in self._nodes:
+                self._delete_node(path)
+        self._sessions.pop(session_id, None)
+
+    def session_count(self) -> int:
+        """Number of open client sessions."""
+        return len(self._sessions)
+
+    # -- znode operations ----------------------------------------------
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False,
+               session: Optional[Session] = None) -> str:
+        """Create a znode; returns the actual path (suffixed if sequential)."""
+        path = self._normalize(path)
+        parent = posixpath.dirname(path)
+        parent_node = self._nodes.get(parent)
+        if parent_node is None:
+            raise NoNodeError(f"parent does not exist: {parent}")
+        if parent_node.ephemeral_owner is not None:
+            raise ZooKeeperError("ephemeral znodes cannot have children")
+        if sequential:
+            seq = parent_node.sequence_counter
+            parent_node.sequence_counter += 1
+            path = f"{path}{seq:010d}"
+        if path in self._nodes:
+            raise NodeExistsError(f"node exists: {path}")
+        if ephemeral and session is None:
+            raise ZooKeeperError("ephemeral create requires a session")
+        owner = session.session_id if ephemeral else None
+        self._nodes[path] = _ZNode(data=data, ephemeral_owner=owner)
+        parent_node.children.add(posixpath.basename(path))
+        if ephemeral:
+            self._session_ephemerals[session.session_id].add(path)
+        self._fire_child_watches(parent, "child")
+        self._fire_exists_watches(path, "created")
+        return path
+
+    def ensure_path(self, path: str) -> None:
+        """Create a persistent path and all missing parents (idempotent)."""
+        path = self._normalize(path)
+        parts = [p for p in path.split("/") if p]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            if current not in self._nodes:
+                self.create(current)
+
+    def exists(self, path: str,
+               watch: Optional[WatchCallback] = None) -> bool:
+        """True if the path exists; optionally arms a one-shot watch."""
+        path = self._normalize(path)
+        present = path in self._nodes
+        if watch is not None:
+            self._exists_watches.setdefault(path, []).append(watch)
+        return present
+
+    def get_data(self, path: str) -> bytes:
+        """The znode's data (NoNodeError if absent)."""
+        path = self._normalize(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(f"no such node: {path}")
+        return node.data
+
+    def set_data(self, path: str, data: bytes) -> None:
+        """Replace a znode's data, bumping its version."""
+        path = self._normalize(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(f"no such node: {path}")
+        node.data = data
+        node.version += 1
+
+    def get_children(self, path: str,
+                     watch: Optional[WatchCallback] = None) -> List[str]:
+        """Sorted child names; optionally arms a one-shot child watch."""
+        path = self._normalize(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(f"no such node: {path}")
+        if watch is not None:
+            self._child_watches.setdefault(path, []).append(watch)
+        return sorted(node.children)
+
+    def delete(self, path: str) -> None:
+        """Delete a childless znode, firing watches."""
+        path = self._normalize(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(f"no such node: {path}")
+        if node.children:
+            raise NotEmptyError(f"node has children: {path}")
+        self._delete_node(path)
+        if node.ephemeral_owner is not None:
+            owned = self._session_ephemerals.get(node.ephemeral_owner)
+            if owned is not None:
+                owned.discard(path)
+
+    # -- internals -----------------------------------------------------
+    def _delete_node(self, path: str) -> None:
+        self._nodes.pop(path, None)
+        parent = posixpath.dirname(path)
+        parent_node = self._nodes.get(parent)
+        if parent_node is not None:
+            parent_node.children.discard(posixpath.basename(path))
+        self._fire_exists_watches(path, "deleted")
+        self._fire_child_watches(parent, "child")
+
+    def _fire_exists_watches(self, path: str, kind: str) -> None:
+        for callback in self._exists_watches.pop(path, []):
+            callback(kind, path)
+
+    def _fire_child_watches(self, path: str, kind: str) -> None:
+        for callback in self._child_watches.pop(path, []):
+            callback(kind, path)
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise ZooKeeperError(f"path must be absolute: {path!r}")
+        norm = posixpath.normpath(path)
+        return norm

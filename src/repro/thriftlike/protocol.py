@@ -1,0 +1,493 @@
+"""Wire protocols: binary (fixed-width) and compact (varint/zigzag).
+
+Both protocols share the same abstract reader/writer interface, so a struct
+serialized with either can be skipped field-by-field without knowing its
+schema -- the property that gives Thrift messages forward compatibility.
+"""
+
+from __future__ import annotations
+
+import io
+import struct as _struct
+from typing import Tuple
+
+from repro.thriftlike.types import ProtocolError, TType
+
+
+class ProtocolWriter:
+    """Abstract writer. Subclasses encode primitives onto a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buf = io.BytesIO()
+
+    def getvalue(self) -> bytes:
+        """Return the bytes written so far."""
+        return self._buf.getvalue()
+
+    # -- framing -----------------------------------------------------------
+    def write_struct_begin(self) -> None:
+        """Mark the start of a struct's fields."""
+        pass
+
+    def write_struct_end(self) -> None:
+        """Mark the end of a struct's fields."""
+        pass
+
+    def write_field(self, fid: int, ttype: TType) -> None:
+        """Write a field header (id + wire type)."""
+        raise NotImplementedError
+
+    def write_field_stop(self) -> None:
+        """Write the end-of-struct marker."""
+        raise NotImplementedError
+
+    # -- primitives --------------------------------------------------------
+    def write_bool(self, value: bool) -> None:
+        """Write a boolean value."""
+        raise NotImplementedError
+
+    def write_byte(self, value: int) -> None:
+        """Write a signed 8-bit integer."""
+        raise NotImplementedError
+
+    def write_i16(self, value: int) -> None:
+        """Write a signed 16-bit integer."""
+        raise NotImplementedError
+
+    def write_i32(self, value: int) -> None:
+        """Write a signed 32-bit integer."""
+        raise NotImplementedError
+
+    def write_i64(self, value: int) -> None:
+        """Write a signed 64-bit integer."""
+        raise NotImplementedError
+
+    def write_double(self, value: float) -> None:
+        """Write a 64-bit IEEE-754 float."""
+        raise NotImplementedError
+
+    def write_string(self, value) -> None:
+        """Write a length-prefixed string (or bytes)."""
+        raise NotImplementedError
+
+    def write_collection_begin(self, ttype: TType, size: int) -> None:
+        """Write a list/set header (element type + size)."""
+        raise NotImplementedError
+
+    def write_map_begin(self, ktype: TType, vtype: TType, size: int) -> None:
+        """Write a map header (key type, value type, size)."""
+        raise NotImplementedError
+
+
+class ProtocolReader:
+    """Abstract reader over a bytes object."""
+
+    def __init__(self, data: bytes) -> None:
+        self._buf = io.BytesIO(data)
+
+    def _read_exact(self, n: int) -> bytes:
+        data = self._buf.read(n)
+        if len(data) != n:
+            raise ProtocolError(f"truncated read: wanted {n}, got {len(data)}")
+        return data
+
+    def at_end(self) -> bool:
+        """True when every byte of the input has been consumed."""
+        pos = self._buf.tell()
+        more = self._buf.read(1)
+        self._buf.seek(pos)
+        return not more
+
+    # -- framing -----------------------------------------------------------
+    def read_struct_begin(self) -> None:
+        """Consume the start of a struct, if any framing exists."""
+        pass
+
+    def read_struct_end(self) -> None:
+        """Consume the end of a struct, if any framing exists."""
+        pass
+
+    def read_field(self) -> Tuple[int, TType]:
+        """Return ``(fid, ttype)``; ttype == STOP signals end of struct."""
+        raise NotImplementedError
+
+    # -- primitives --------------------------------------------------------
+    def read_bool(self) -> bool:
+        """Read a boolean value."""
+        raise NotImplementedError
+
+    def read_byte(self) -> int:
+        """Read a signed 8-bit integer."""
+        raise NotImplementedError
+
+    def read_i16(self) -> int:
+        """Read a signed 16-bit integer."""
+        raise NotImplementedError
+
+    def read_i32(self) -> int:
+        """Read a signed 32-bit integer."""
+        raise NotImplementedError
+
+    def read_i64(self) -> int:
+        """Read a signed 64-bit integer."""
+        raise NotImplementedError
+
+    def read_double(self) -> float:
+        """Read a 64-bit IEEE-754 float."""
+        raise NotImplementedError
+
+    def read_string(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        raise NotImplementedError
+
+    def read_binary(self) -> bytes:
+        """Read a length-prefixed byte string."""
+        raise NotImplementedError
+
+    def read_collection_begin(self) -> Tuple[TType, int]:
+        """Read a list/set header; returns (element type, size)."""
+        raise NotImplementedError
+
+    def read_map_begin(self) -> Tuple[TType, TType, int]:
+        """Read a map header; returns (key type, value type, size)."""
+        raise NotImplementedError
+
+    # -- schema-free skipping ----------------------------------------------
+    def skip(self, ttype: TType) -> None:
+        """Consume and discard a value of type ``ttype``."""
+        if ttype is TType.BOOL:
+            self.read_bool()
+        elif ttype is TType.BYTE:
+            self.read_byte()
+        elif ttype is TType.I16:
+            self.read_i16()
+        elif ttype is TType.I32:
+            self.read_i32()
+        elif ttype is TType.I64:
+            self.read_i64()
+        elif ttype is TType.DOUBLE:
+            self.read_double()
+        elif ttype is TType.STRING:
+            self.read_binary()
+        elif ttype is TType.STRUCT:
+            self.read_struct_begin()
+            while True:
+                __, ftype = self.read_field()
+                if ftype is TType.STOP:
+                    break
+                self.skip(ftype)
+            self.read_struct_end()
+        elif ttype in (TType.LIST, TType.SET):
+            etype, size = self.read_collection_begin()
+            for __ in range(size):
+                self.skip(etype)
+        elif ttype is TType.MAP:
+            ktype, vtype, size = self.read_map_begin()
+            for __ in range(size):
+                self.skip(ktype)
+                self.skip(vtype)
+        else:
+            raise ProtocolError(f"cannot skip type {ttype}")
+
+
+# ---------------------------------------------------------------------------
+# Binary protocol: fixed-width big-endian fields, like TBinaryProtocol.
+# ---------------------------------------------------------------------------
+
+
+class BinaryProtocolWriter(ProtocolWriter):
+    """Fixed-width big-endian encoding (Thrift's TBinaryProtocol)."""
+
+    def write_field(self, fid: int, ttype: TType) -> None:
+        self._buf.write(_struct.pack(">bh", int(ttype), fid))
+
+    def write_field_stop(self) -> None:
+        self._buf.write(_struct.pack(">b", int(TType.STOP)))
+
+    def write_bool(self, value: bool) -> None:
+        self._buf.write(_struct.pack(">b", 1 if value else 0))
+
+    def write_byte(self, value: int) -> None:
+        self._buf.write(_struct.pack(">b", value))
+
+    def write_i16(self, value: int) -> None:
+        self._buf.write(_struct.pack(">h", value))
+
+    def write_i32(self, value: int) -> None:
+        self._buf.write(_struct.pack(">i", value))
+
+    def write_i64(self, value: int) -> None:
+        self._buf.write(_struct.pack(">q", value))
+
+    def write_double(self, value: float) -> None:
+        self._buf.write(_struct.pack(">d", value))
+
+    def write_string(self, value) -> None:
+        data = value.encode("utf-8") if isinstance(value, str) else value
+        self._buf.write(_struct.pack(">i", len(data)))
+        self._buf.write(data)
+
+    def write_collection_begin(self, ttype: TType, size: int) -> None:
+        self._buf.write(_struct.pack(">bi", int(ttype), size))
+
+    def write_map_begin(self, ktype: TType, vtype: TType, size: int) -> None:
+        self._buf.write(_struct.pack(">bbi", int(ktype), int(vtype), size))
+
+
+class BinaryProtocolReader(ProtocolReader):
+    """Reader matching :class:`BinaryProtocolWriter`."""
+
+    def read_field(self) -> Tuple[int, TType]:
+        raw = self._read_exact(1)
+        ttype = _to_ttype(raw[0])
+        if ttype is TType.STOP:
+            return 0, TType.STOP
+        (fid,) = _struct.unpack(">h", self._read_exact(2))
+        return fid, ttype
+
+    def read_bool(self) -> bool:
+        return self._read_exact(1)[0] != 0
+
+    def read_byte(self) -> int:
+        (v,) = _struct.unpack(">b", self._read_exact(1))
+        return v
+
+    def read_i16(self) -> int:
+        (v,) = _struct.unpack(">h", self._read_exact(2))
+        return v
+
+    def read_i32(self) -> int:
+        (v,) = _struct.unpack(">i", self._read_exact(4))
+        return v
+
+    def read_i64(self) -> int:
+        (v,) = _struct.unpack(">q", self._read_exact(8))
+        return v
+
+    def read_double(self) -> float:
+        (v,) = _struct.unpack(">d", self._read_exact(8))
+        return v
+
+    def read_binary(self) -> bytes:
+        (n,) = _struct.unpack(">i", self._read_exact(4))
+        if n < 0:
+            raise ProtocolError(f"negative string length {n}")
+        return self._read_exact(n)
+
+    def read_string(self) -> str:
+        return self.read_binary().decode("utf-8")
+
+    def read_collection_begin(self) -> Tuple[TType, int]:
+        raw = self._read_exact(5)
+        ttype = _to_ttype(raw[0])
+        (size,) = _struct.unpack(">i", raw[1:])
+        if size < 0:
+            raise ProtocolError(f"negative collection size {size}")
+        return ttype, size
+
+    def read_map_begin(self) -> Tuple[TType, TType, int]:
+        raw = self._read_exact(6)
+        ktype = _to_ttype(raw[0])
+        vtype = _to_ttype(raw[1])
+        (size,) = _struct.unpack(">i", raw[2:])
+        if size < 0:
+            raise ProtocolError(f"negative map size {size}")
+        return ktype, vtype, size
+
+
+# ---------------------------------------------------------------------------
+# Compact protocol: varints, zigzag ints, delta-encoded field ids.
+# ---------------------------------------------------------------------------
+
+
+def write_varint(buf: io.BytesIO, value: int) -> None:
+    """Encode an unsigned integer as a base-128 varint."""
+    if value < 0:
+        raise ProtocolError("varint value must be non-negative")
+    while True:
+        towrite = value & 0x7F
+        value >>= 7
+        if value:
+            buf.write(bytes((towrite | 0x80,)))
+        else:
+            buf.write(bytes((towrite,)))
+            return
+
+
+def read_varint(read_exact) -> int:
+    """Decode a base-128 varint using a ``read_exact(n)`` callable."""
+    result = 0
+    shift = 0
+    while True:
+        byte = read_exact(1)[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+        if shift > 70:
+            raise ProtocolError("varint too long")
+
+
+def zigzag(value: int) -> int:
+    """Map a signed int to unsigned so small magnitudes stay small."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+class CompactProtocolWriter(ProtocolWriter):
+    """Varint/zigzag encoding with delta-compressed field ids.
+
+    Field headers are one byte when the field-id delta from the previous
+    field is small, which is the common case for densely-numbered structs
+    like :class:`repro.core.event.ClientEvent`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_fid = [0]
+
+    def write_struct_begin(self) -> None:
+        self._last_fid.append(0)
+
+    def write_struct_end(self) -> None:
+        self._last_fid.pop()
+
+    def write_field(self, fid: int, ttype: TType) -> None:
+        delta = fid - self._last_fid[-1]
+        if 0 < delta <= 15:
+            self._buf.write(bytes(((delta << 4) | int(ttype),)))
+        else:
+            self._buf.write(bytes((int(ttype),)))
+            write_varint(self._buf, zigzag(fid))
+        self._last_fid[-1] = fid
+
+    def write_field_stop(self) -> None:
+        self._buf.write(b"\x00")
+
+    def write_bool(self, value: bool) -> None:
+        self._buf.write(b"\x01" if value else b"\x00")
+
+    def write_byte(self, value: int) -> None:
+        self._buf.write(_struct.pack(">b", value))
+
+    def write_i16(self, value: int) -> None:
+        write_varint(self._buf, zigzag(value))
+
+    def write_i32(self, value: int) -> None:
+        write_varint(self._buf, zigzag(value))
+
+    def write_i64(self, value: int) -> None:
+        write_varint(self._buf, zigzag(value))
+
+    def write_double(self, value: float) -> None:
+        self._buf.write(_struct.pack(">d", value))
+
+    def write_string(self, value) -> None:
+        data = value.encode("utf-8") if isinstance(value, str) else value
+        write_varint(self._buf, len(data))
+        self._buf.write(data)
+
+    def write_collection_begin(self, ttype: TType, size: int) -> None:
+        self._buf.write(bytes((int(ttype),)))
+        write_varint(self._buf, size)
+
+    def write_map_begin(self, ktype: TType, vtype: TType, size: int) -> None:
+        self._buf.write(bytes((int(ktype), int(vtype))))
+        write_varint(self._buf, size)
+
+
+class CompactProtocolReader(ProtocolReader):
+    """Reader matching :class:`CompactProtocolWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        super().__init__(data)
+        self._last_fid = [0]
+
+    def read_struct_begin(self) -> None:
+        self._last_fid.append(0)
+
+    def read_struct_end(self) -> None:
+        self._last_fid.pop()
+
+    def read_field(self) -> Tuple[int, TType]:
+        header = self._read_exact(1)[0]
+        if header == 0:
+            return 0, TType.STOP
+        ttype = _to_ttype(header & 0x0F)
+        delta = header >> 4
+        if delta:
+            fid = self._last_fid[-1] + delta
+        else:
+            fid = unzigzag(read_varint(self._read_exact))
+        self._last_fid[-1] = fid
+        return fid, ttype
+
+    def read_bool(self) -> bool:
+        return self._read_exact(1)[0] != 0
+
+    def read_byte(self) -> int:
+        (v,) = _struct.unpack(">b", self._read_exact(1))
+        return v
+
+    def read_i16(self) -> int:
+        return unzigzag(read_varint(self._read_exact))
+
+    def read_i32(self) -> int:
+        return unzigzag(read_varint(self._read_exact))
+
+    def read_i64(self) -> int:
+        return unzigzag(read_varint(self._read_exact))
+
+    def read_double(self) -> float:
+        (v,) = _struct.unpack(">d", self._read_exact(8))
+        return v
+
+    def read_binary(self) -> bytes:
+        n = read_varint(self._read_exact)
+        return self._read_exact(n)
+
+    def read_string(self) -> str:
+        return self.read_binary().decode("utf-8")
+
+    def read_collection_begin(self) -> Tuple[TType, int]:
+        ttype = _to_ttype(self._read_exact(1)[0])
+        size = read_varint(self._read_exact)
+        return ttype, size
+
+    def read_map_begin(self) -> Tuple[TType, TType, int]:
+        raw = self._read_exact(2)
+        size = read_varint(self._read_exact)
+        return _to_ttype(raw[0]), _to_ttype(raw[1]), size
+
+
+def _to_ttype(raw: int) -> TType:
+    try:
+        return TType(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown wire type {raw}") from exc
+
+
+PROTOCOLS = {
+    "binary": (BinaryProtocolWriter, BinaryProtocolReader),
+    "compact": (CompactProtocolWriter, CompactProtocolReader),
+}
+
+
+def writer_for(protocol: str) -> ProtocolWriter:
+    """Instantiate a writer by protocol name (``binary`` or ``compact``)."""
+    try:
+        return PROTOCOLS[protocol][0]()
+    except KeyError as exc:
+        raise ProtocolError(f"unknown protocol {protocol!r}") from exc
+
+
+def reader_for(protocol: str, data: bytes) -> ProtocolReader:
+    """Instantiate a reader by protocol name over ``data``."""
+    try:
+        return PROTOCOLS[protocol][1](data)
+    except KeyError as exc:
+        raise ProtocolError(f"unknown protocol {protocol!r}") from exc

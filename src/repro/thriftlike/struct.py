@@ -1,0 +1,267 @@
+"""Declarative Thrift-like structs with schema evolution.
+
+A struct class declares a ``FIELDS`` tuple of :class:`FieldSpec`. Instances
+carry only the declared attributes. Serialization writes set fields tagged
+by field id; deserialization skips unknown field ids, so old readers accept
+messages from newer writers (forward compatibility) and new readers fill
+missing fields with defaults (backward compatibility) -- the property the
+paper relies on for letting log messages "gradually evolve over time".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple, Type, TypeVar
+
+from repro.thriftlike.protocol import (
+    ProtocolReader,
+    ProtocolWriter,
+    reader_for,
+    writer_for,
+)
+from repro.thriftlike.types import (
+    FieldSpec,
+    TType,
+    ValidationError,
+    check_value,
+)
+
+T = TypeVar("T", bound="ThriftStruct")
+
+
+class ThriftStruct:
+    """Base class for declarative structs.
+
+    Subclasses set ``FIELDS: Tuple[FieldSpec, ...]``. Construction accepts
+    keyword arguments by field name; missing optional fields take their
+    declared default, missing required fields raise at validation time.
+    """
+
+    FIELDS: Tuple[FieldSpec, ...] = ()
+
+    def __init__(self, **kwargs: Any) -> None:
+        specs = self.field_map()
+        unknown = set(kwargs) - set(specs)
+        if unknown:
+            raise ValidationError(
+                f"{type(self).__name__}: unknown fields {sorted(unknown)}"
+            )
+        for name, spec in specs.items():
+            if name in kwargs:
+                setattr(self, name, kwargs[name])
+            else:
+                default = spec.default
+                if callable(default):
+                    default = default()
+                setattr(self, name, default)
+
+    # -- introspection -------------------------------------------------
+    @classmethod
+    def field_map(cls) -> Dict[str, FieldSpec]:
+        """name -> :class:`FieldSpec` for this struct class."""
+        cached = cls.__dict__.get("_field_map")
+        if cached is None:
+            cached = {spec.name: spec for spec in cls.FIELDS}
+            if len(cached) != len(cls.FIELDS):
+                raise ValidationError(f"{cls.__name__}: duplicate field names")
+            fids = {spec.fid for spec in cls.FIELDS}
+            if len(fids) != len(cls.FIELDS):
+                raise ValidationError(f"{cls.__name__}: duplicate field ids")
+            cls._field_map = cached
+        return cached
+
+    @classmethod
+    def fid_map(cls) -> Dict[int, FieldSpec]:
+        """field id -> :class:`FieldSpec` for this struct class."""
+        cached = cls.__dict__.get("_fid_map")
+        if cached is None:
+            cached = {spec.fid: spec for spec in cls.FIELDS}
+            cls._fid_map = cached
+        return cached
+
+    def validate(self) -> None:
+        """Check required fields are set and values match declared types."""
+        for spec in self.FIELDS:
+            value = getattr(self, spec.name)
+            if value is None:
+                if spec.required:
+                    raise ValidationError(
+                        f"{type(self).__name__}.{spec.name} is required"
+                    )
+                continue
+            check_value(spec, value)
+
+    # -- serialization ---------------------------------------------------
+    def write(self, writer: ProtocolWriter) -> None:
+        """Validate and write the struct's set fields to a protocol writer."""
+        self.validate()
+        writer.write_struct_begin()
+        for spec in self.FIELDS:
+            value = getattr(self, spec.name)
+            if value is None:
+                continue
+            writer.write_field(spec.fid, spec.ttype)
+            _write_value(writer, spec, value)
+        writer.write_field_stop()
+        writer.write_struct_end()
+
+    def to_bytes(self, protocol: str = "compact") -> bytes:
+        """Serialize with the named protocol (default compact)."""
+        writer = writer_for(protocol)
+        self.write(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def read(cls: Type[T], reader: ProtocolReader) -> T:
+        """Read a struct from a protocol reader, skipping unknown fields."""
+        obj = cls()
+        fid_map = cls.fid_map()
+        reader.read_struct_begin()
+        while True:
+            fid, ttype = reader.read_field()
+            if ttype is TType.STOP:
+                break
+            spec = fid_map.get(fid)
+            if spec is None or spec.ttype is not ttype:
+                # Unknown or retyped field: skip for forward compatibility.
+                reader.skip(ttype)
+                continue
+            setattr(obj, spec.name, _read_value(reader, spec))
+        reader.read_struct_end()
+        obj.validate()
+        return obj
+
+    @classmethod
+    def from_bytes(cls: Type[T], data: bytes, protocol: str = "compact") -> T:
+        """Deserialize with the named protocol (default compact)."""
+        return cls.read(reader_for(protocol, data))
+
+    # -- conveniences ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (recursing into nested structs and containers)."""
+        out: Dict[str, Any] = {}
+        for spec in self.FIELDS:
+            out[spec.name] = _to_plain(getattr(self, spec.name))
+        return out
+
+    def replace(self: T, **kwargs: Any) -> T:
+        """Return a copy with the given fields replaced."""
+        merged = {spec.name: getattr(self, spec.name) for spec in self.FIELDS}
+        merged.update(kwargs)
+        return type(self)(**merged)
+
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(
+            getattr(self, spec.name) == getattr(other, spec.name)
+            for spec in self.FIELDS
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self),)
+            + tuple(_hashable(getattr(self, spec.name)) for spec in self.FIELDS)
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{spec.name}={getattr(self, spec.name)!r}"
+            for spec in self.FIELDS
+            if getattr(self, spec.name) is not None
+        )
+        return f"{type(self).__name__}({parts})"
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_hashable(v) for v in value)
+    return value
+
+
+def _to_plain(value: Any) -> Any:
+    if isinstance(value, ThriftStruct):
+        return value.to_dict()
+    if isinstance(value, (list, tuple)):
+        return [_to_plain(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {_to_plain(v) for v in value}
+    if isinstance(value, dict):
+        return {k: _to_plain(v) for k, v in value.items()}
+    return value
+
+
+def _write_value(writer: ProtocolWriter, spec: FieldSpec, value: Any) -> None:
+    ttype = spec.ttype
+    if ttype is TType.BOOL:
+        writer.write_bool(value)
+    elif ttype is TType.BYTE:
+        writer.write_byte(value)
+    elif ttype is TType.I16:
+        writer.write_i16(value)
+    elif ttype is TType.I32:
+        writer.write_i32(value)
+    elif ttype is TType.I64:
+        writer.write_i64(value)
+    elif ttype is TType.DOUBLE:
+        writer.write_double(float(value))
+    elif ttype is TType.STRING:
+        writer.write_string(value)
+    elif ttype is TType.STRUCT:
+        value.write(writer)
+    elif ttype in (TType.LIST, TType.SET):
+        items = sorted(value, key=repr) if ttype is TType.SET else value
+        writer.write_collection_begin(spec.value.ttype, len(items))
+        for item in items:
+            _write_value(writer, spec.value, item)
+    elif ttype is TType.MAP:
+        writer.write_map_begin(spec.key.ttype, spec.value.ttype, len(value))
+        for k in sorted(value, key=repr):
+            _write_value(writer, spec.key, k)
+            _write_value(writer, spec.value, value[k])
+    else:  # pragma: no cover - exhaustive
+        raise ValidationError(f"unsupported type {ttype}")
+
+
+def _read_value(reader: ProtocolReader, spec: FieldSpec) -> Any:
+    ttype = spec.ttype
+    if ttype is TType.BOOL:
+        return reader.read_bool()
+    if ttype is TType.BYTE:
+        return reader.read_byte()
+    if ttype is TType.I16:
+        return reader.read_i16()
+    if ttype is TType.I32:
+        return reader.read_i32()
+    if ttype is TType.I64:
+        return reader.read_i64()
+    if ttype is TType.DOUBLE:
+        return reader.read_double()
+    if ttype is TType.STRING:
+        return reader.read_string()
+    if ttype is TType.STRUCT:
+        return spec.struct_cls.read(reader)
+    if ttype in (TType.LIST, TType.SET):
+        etype, size = reader.read_collection_begin()
+        items = []
+        for __ in range(size):
+            if etype is spec.value.ttype:
+                items.append(_read_value(reader, spec.value))
+            else:
+                reader.skip(etype)
+        return set(items) if ttype is TType.SET else items
+    if ttype is TType.MAP:
+        ktype, vtype, size = reader.read_map_begin()
+        out = {}
+        for __ in range(size):
+            if ktype is spec.key.ttype and vtype is spec.value.ttype:
+                key = _read_value(reader, spec.key)
+                out[key] = _read_value(reader, spec.value)
+            else:
+                reader.skip(ktype)
+                reader.skip(vtype)
+        return out
+    raise ValidationError(f"unsupported type {ttype}")  # pragma: no cover

@@ -1,0 +1,44 @@
+"""Synthetic workload: population, behavior models, event generation."""
+
+from repro.workload.population import (
+    CLIENTS,
+    COUNTRIES,
+    UserPopulation,
+    UserProfile,
+)
+from repro.workload.behavior import (
+    END,
+    FUNNEL_CONTINUE,
+    MarkovBehavior,
+    STANDARD_TREE,
+    build_browsing_behavior,
+    build_signup_behavior,
+    signup_funnel_stages,
+    standard_hierarchy,
+)
+from repro.workload.generator import (
+    DayWorkload,
+    WorkloadGenerator,
+    load_warehouse_day,
+)
+from repro.workload.simulate import SimulatedDay, WarehouseSimulation
+
+__all__ = [
+    "CLIENTS",
+    "COUNTRIES",
+    "UserPopulation",
+    "UserProfile",
+    "END",
+    "FUNNEL_CONTINUE",
+    "MarkovBehavior",
+    "STANDARD_TREE",
+    "build_browsing_behavior",
+    "build_signup_behavior",
+    "signup_funnel_stages",
+    "standard_hierarchy",
+    "SimulatedDay",
+    "WarehouseSimulation",
+    "DayWorkload",
+    "WorkloadGenerator",
+    "load_warehouse_day",
+]

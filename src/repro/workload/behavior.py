@@ -1,0 +1,315 @@
+"""Markov user-behavior models over the standard client event namespace.
+
+The transition structure is hand-crafted to reproduce the statistical
+properties the paper's analyses depend on:
+
+- impressions dominate clicks (realistic CTR/FTR, §4.1);
+- strong local sequential dependence (n-gram perplexity falls with n, §5.4);
+- planted "activity collocates" -- e.g. a search query is almost always
+  followed by a results impression (PMI/LLR surface them, §5.4);
+- a multi-step signup funnel with per-stage abandonment (§5.3);
+- a consistent design language: the same pages/sections/actions exist on
+  every client, so "an impression means the same thing, whether on the
+  web client or the iPhone" (§3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.names import EventName
+from repro.core.namespace import ViewHierarchy
+
+END = "__end__"
+
+#: The tree every client implements (consistent design language, §3.2).
+STANDARD_TREE: Dict = {
+    "home": {
+        "timeline": {
+            "stream": {
+                "tweet": ["impression", "click", "expand"],
+                "avatar": ["profile_click"],
+                "retweet_button": ["click"],
+            },
+        },
+        "mentions": {
+            "stream": {
+                "tweet": ["impression", "click"],
+                "avatar": ["profile_click"],
+            },
+        },
+        "suggestions": {
+            "who_to_follow": {
+                "user_card": ["impression", "click", "follow"],
+            },
+        },
+    },
+    "search": {
+        "": {
+            "search_box": {
+                "input": ["query"],
+            },
+            "results": {
+                "result": ["impression", "click"],
+            },
+        },
+    },
+    "profile": {
+        "": {
+            "header": {
+                "follow_button": ["click", "impression"],
+            },
+            "tweets": {
+                "tweet": ["impression", "click"],
+            },
+        },
+    },
+    "discover": {
+        "trends": {
+            "trend_list": {
+                "trend": ["impression", "click"],
+            },
+        },
+    },
+    "tweet_detail": {
+        "": {
+            "detail": {
+                "tweet": ["impression", "reply", "favorite"],
+                "avatar": ["profile_click"],
+            },
+        },
+    },
+    "signup": {
+        "step_credentials": {"form": {"fields": ["view", "submit"]}},
+        "step_interests": {"form": {"fields": ["view", "submit"]}},
+        "step_suggestions": {"form": {"fields": ["view", "submit"]}},
+        "step_import": {"form": {"fields": ["view", "submit"]}},
+        "step_confirm": {"form": {"fields": ["view", "submit"]}},
+    },
+}
+
+
+def standard_hierarchy(client: str) -> ViewHierarchy:
+    """The standard view hierarchy instantiated for one client."""
+    return ViewHierarchy(client, STANDARD_TREE)
+
+
+def _name(client: str, page: str, section: str, component: str,
+          element: str, action: str) -> str:
+    return str(EventName(client, page, section, component, element, action))
+
+
+@dataclass
+class MarkovBehavior:
+    """A Markov model over event names with an END state.
+
+    Mostly first-order; ``context_transitions`` optionally overrides the
+    next-state distribution for specific (previous, current) pairs,
+    giving the stream genuine second-order structure (a trigram model
+    then beats a bigram on held-out sessions, the §5.4 "decaying
+    influence of earlier actions").
+    """
+
+    client: str
+    transitions: Dict[str, List[Tuple[str, float]]]
+    initial: List[Tuple[str, float]]
+    context_transitions: Dict[Tuple[str, str],
+                              List[Tuple[str, float]]] = field(
+        default_factory=dict)
+
+    def sample(self, rng: random.Random, max_events: int = 200) -> List[str]:
+        """Draw one session's event-name sequence."""
+        sequence: List[str] = []
+        previous: Optional[str] = None
+        state = _draw(rng, self.initial)
+        while state != END and len(sequence) < max_events:
+            sequence.append(state)
+            options = self.context_transitions.get((previous, state)) \
+                if previous is not None else None
+            if options is None:
+                options = self.transitions.get(state)
+            if not options:
+                break
+            previous = state
+            state = _draw(rng, options)
+        return sequence
+
+    def states(self) -> List[str]:
+        """All event names the model can emit."""
+        out = {name for name, __ in self.initial if name != END}
+        for state, options in self.transitions.items():
+            out.add(state)
+            out.update(name for name, __ in options if name != END)
+        out.discard(END)
+        return sorted(out)
+
+
+def _draw(rng: random.Random, options: Sequence[Tuple[str, float]]) -> str:
+    total = sum(weight for __, weight in options)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for value, weight in options:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return options[-1][0]
+
+
+def build_browsing_behavior(client: str,
+                            second_order: bool = False) -> MarkovBehavior:
+    """The main browsing model for returning users of one client.
+
+    With ``second_order`` a few transitions depend on the previous TWO
+    events: a second consecutive search-result impression triples the
+    click rate (users click after scanning a couple of results), and a
+    click right after a profile visit strongly returns home. Off by
+    default to keep the base workload exactly first-order.
+    """
+    c = client
+    tweet_imp = _name(c, "home", "timeline", "stream", "tweet", "impression")
+    tweet_click = _name(c, "home", "timeline", "stream", "tweet", "click")
+    tweet_expand = _name(c, "home", "timeline", "stream", "tweet", "expand")
+    avatar_click = _name(c, "home", "timeline", "stream", "avatar",
+                         "profile_click")
+    retweet = _name(c, "home", "timeline", "stream", "retweet_button",
+                    "click")
+    mention_imp = _name(c, "home", "mentions", "stream", "tweet",
+                        "impression")
+    mention_click = _name(c, "home", "mentions", "stream", "tweet", "click")
+    mention_avatar = _name(c, "home", "mentions", "stream", "avatar",
+                           "profile_click")
+    wtf_imp = _name(c, "home", "suggestions", "who_to_follow", "user_card",
+                    "impression")
+    wtf_click = _name(c, "home", "suggestions", "who_to_follow", "user_card",
+                      "click")
+    wtf_follow = _name(c, "home", "suggestions", "who_to_follow",
+                       "user_card", "follow")
+    query = _name(c, "search", "", "search_box", "input", "query")
+    result_imp = _name(c, "search", "", "results", "result", "impression")
+    result_click = _name(c, "search", "", "results", "result", "click")
+    profile_follow = _name(c, "profile", "", "header", "follow_button",
+                           "click")
+    profile_follow_imp = _name(c, "profile", "", "header", "follow_button",
+                               "impression")
+    profile_tweet_imp = _name(c, "profile", "", "tweets", "tweet",
+                              "impression")
+    profile_tweet_click = _name(c, "profile", "", "tweets", "tweet", "click")
+    trend_imp = _name(c, "discover", "trends", "trend_list", "trend",
+                      "impression")
+    trend_click = _name(c, "discover", "trends", "trend_list", "trend",
+                        "click")
+    detail_imp = _name(c, "tweet_detail", "", "detail", "tweet",
+                       "impression")
+    detail_reply = _name(c, "tweet_detail", "", "detail", "tweet", "reply")
+    detail_fav = _name(c, "tweet_detail", "", "detail", "tweet", "favorite")
+    detail_avatar = _name(c, "tweet_detail", "", "detail", "avatar",
+                          "profile_click")
+
+    transitions: Dict[str, List[Tuple[str, float]]] = {
+        # Timeline browsing: long impression runs with occasional clicks.
+        tweet_imp: [(tweet_imp, 55), (tweet_click, 6), (tweet_expand, 4),
+                    (avatar_click, 2), (retweet, 2), (mention_imp, 5),
+                    (wtf_imp, 6), (query, 4), (trend_imp, 3), (END, 13)],
+        tweet_click: [(detail_imp, 70), (tweet_imp, 20), (END, 10)],
+        tweet_expand: [(detail_imp, 55), (tweet_imp, 35), (END, 10)],
+        avatar_click: [(profile_tweet_imp, 55), (profile_follow_imp, 35),
+                       (END, 10)],
+        retweet: [(tweet_imp, 85), (END, 15)],
+        # Mentions tab.
+        mention_imp: [(mention_imp, 50), (mention_click, 8),
+                      (mention_avatar, 4), (tweet_imp, 20), (END, 18)],
+        mention_click: [(detail_imp, 70), (mention_imp, 20), (END, 10)],
+        mention_avatar: [(profile_tweet_imp, 60), (profile_follow_imp, 30),
+                         (END, 10)],
+        # Who-to-follow: the paper's canonical CTR/FTR feature.
+        wtf_imp: [(wtf_imp, 40), (wtf_click, 7), (wtf_follow, 5),
+                  (tweet_imp, 30), (END, 18)],
+        wtf_click: [(profile_tweet_imp, 45), (profile_follow_imp, 35),
+                    (wtf_imp, 12), (END, 8)],
+        wtf_follow: [(wtf_imp, 60), (tweet_imp, 28), (END, 12)],
+        # Search: "query then results impression" is the planted collocate.
+        query: [(result_imp, 92), (query, 4), (END, 4)],
+        result_imp: [(result_imp, 45), (result_click, 14), (query, 8),
+                     (tweet_imp, 15), (END, 18)],
+        result_click: [(detail_imp, 45), (profile_tweet_imp, 25),
+                       (result_imp, 20), (END, 10)],
+        # Profile visits; follow-through.
+        profile_tweet_imp: [(profile_tweet_imp, 45),
+                            (profile_tweet_click, 8),
+                            (profile_follow_imp, 15), (tweet_imp, 18),
+                            (END, 14)],
+        profile_tweet_click: [(detail_imp, 60), (profile_tweet_imp, 28),
+                              (END, 12)],
+        profile_follow_imp: [(profile_follow, 22), (profile_tweet_imp, 48),
+                             (END, 30)],
+        profile_follow: [(tweet_imp, 55), (profile_tweet_imp, 30),
+                         (END, 15)],
+        # Discover.
+        trend_imp: [(trend_imp, 45), (trend_click, 14), (tweet_imp, 22),
+                    (END, 19)],
+        trend_click: [(result_imp, 62), (trend_imp, 22), (END, 16)],
+        # Tweet detail: expansions lead to profile views (§4.1's example
+        # navigation question).
+        detail_imp: [(detail_reply, 6), (detail_fav, 9),
+                     (detail_avatar, 14), (tweet_imp, 40), (END, 31)],
+        detail_reply: [(tweet_imp, 65), (END, 35)],
+        detail_fav: [(tweet_imp, 60), (detail_avatar, 12), (END, 28)],
+        detail_avatar: [(profile_tweet_imp, 70), (profile_follow_imp, 20),
+                        (END, 10)],
+    }
+    initial = [(tweet_imp, 62), (mention_imp, 12), (query, 9),
+               (trend_imp, 7), (wtf_imp, 6), (profile_tweet_imp, 4)]
+    context: Dict[Tuple[str, str], List[Tuple[str, float]]] = {}
+    if second_order:
+        # After scanning two results in a row, users click far more.
+        context[(result_imp, result_imp)] = [
+            (result_click, 45), (result_imp, 25), (query, 8),
+            (tweet_imp, 10), (END, 12)]
+        # A timeline click arriving from the mentions tab goes back there.
+        context[(mention_imp, mention_click)] = [
+            (mention_imp, 70), (detail_imp, 20), (END, 10)]
+        # Deep impression runs get "stickier" the longer they run.
+        context[(tweet_imp, tweet_imp)] = [
+            (tweet_imp, 70), (tweet_click, 5), (tweet_expand, 3),
+            (wtf_imp, 4), (query, 3), (END, 15)]
+    return MarkovBehavior(client=c, transitions=transitions,
+                          initial=initial, context_transitions=context)
+
+
+#: Ordered signup-funnel stage templates; instantiate per client with
+#: :func:`signup_funnel_stages`.
+_FUNNEL_PAGES = ("step_credentials", "step_interests", "step_suggestions",
+                 "step_import", "step_confirm")
+
+#: Per-stage continuation probability (the funnel's abandonment profile).
+FUNNEL_CONTINUE = (0.82, 0.74, 0.80, 0.62, 0.90)
+
+
+def signup_funnel_stages(client: str) -> List[str]:
+    """The submit events that mark completion of each funnel stage."""
+    return [_name(client, "signup", page, "form", "fields", "submit")
+            for page in _FUNNEL_PAGES]
+
+
+def build_signup_behavior(client: str) -> MarkovBehavior:
+    """The signup-flow model for new users: view -> submit per stage, with
+    abandonment between stages (§5.3's funnel)."""
+    transitions: Dict[str, List[Tuple[str, float]]] = {}
+    views = [_name(client, "signup", page, "form", "fields", "view")
+             for page in _FUNNEL_PAGES]
+    submits = signup_funnel_stages(client)
+    for i, (view, submit) in enumerate(zip(views, submits)):
+        continue_p = FUNNEL_CONTINUE[i]
+        transitions[view] = [(submit, continue_p), (END, 1.0 - continue_p)]
+        if i + 1 < len(views):
+            transitions[submit] = [(views[i + 1], 0.97), (END, 0.03)]
+        else:
+            # Completing signup drops the user onto the home timeline.
+            home = _name(client, "home", "timeline", "stream", "tweet",
+                         "impression")
+            transitions[submit] = [(home, 0.9), (END, 0.1)]
+            transitions[home] = [(home, 0.7), (END, 0.3)]
+    return MarkovBehavior(client=client, transitions=transitions,
+                          initial=[(views[0], 1.0)])

@@ -1,0 +1,231 @@
+"""Seeded synthetic event-stream generation.
+
+Produces a day of :class:`ClientEvent` traffic with the gross statistics
+of the paper's workload: diurnal volume, power-law per-user activity,
+Markov session structure per client, a signup funnel for new users, and
+verbose per-event ``event_details`` payloads (the verbosity that makes
+raw client event logs ~50x larger than session sequences).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.clock import MILLIS_PER_HOUR, MILLIS_PER_MINUTE, MILLIS_PER_SECOND
+from repro.core.event import CLIENT_EVENTS_CATEGORY, ClientEvent, EventInitiator
+from repro.hdfs.layout import LogHour, millis_for_hour
+from repro.hdfs.namenode import HDFS
+from repro.workload.behavior import (
+    MarkovBehavior,
+    build_browsing_behavior,
+    build_signup_behavior,
+)
+from repro.workload.population import UserPopulation, UserProfile
+
+#: Relative traffic weight per hour of day (diurnal shape).
+DIURNAL = (2, 1, 1, 1, 1, 2, 3, 5, 7, 8, 8, 8,
+           9, 9, 9, 8, 8, 9, 10, 10, 9, 7, 5, 3)
+
+
+@dataclass
+class DayWorkload:
+    """One generated day: the events plus generation-time ground truth."""
+
+    date: Tuple[int, int, int]
+    events: List[ClientEvent]
+    sessions_generated: int
+    funnel_entries: int
+
+    @property
+    def num_events(self) -> int:
+        """Total events generated for the day."""
+        return len(self.events)
+
+
+class WorkloadGenerator:
+    """Deterministic generator over a :class:`UserPopulation`."""
+
+    def __init__(self, num_users: int = 200, seed: int = 0,
+                 sessions_per_user: float = 2.0,
+                 details_verbosity: int = 6,
+                 multi_device_fraction: float = 0.0) -> None:
+        """``multi_device_fraction`` gives that share of users a second
+        client (e.g. web by day, iphone by night). Their concurrent
+        sessions are what the legacy join-by-user-id pipeline merges
+        incorrectly (§3.1); the unified format keeps them apart via
+        distinct session ids."""
+        if not 0.0 <= multi_device_fraction <= 1.0:
+            raise ValueError("multi_device_fraction must be in [0, 1]")
+        self.seed = seed
+        self.population = UserPopulation(num_users, seed=seed)
+        self._sessions_per_user = sessions_per_user
+        self._verbosity = details_verbosity
+        self._multi_device = multi_device_fraction
+        self._browsing: Dict[str, MarkovBehavior] = {}
+        self._signup: Dict[str, MarkovBehavior] = {}
+
+    # -- behavior lookup -------------------------------------------------
+    def _browsing_model(self, client: str) -> MarkovBehavior:
+        if client not in self._browsing:
+            self._browsing[client] = build_browsing_behavior(client)
+        return self._browsing[client]
+
+    def _signup_model(self, client: str) -> MarkovBehavior:
+        if client not in self._signup:
+            self._signup[client] = build_signup_behavior(client)
+        return self._signup[client]
+
+    # -- generation --------------------------------------------------------
+    def generate_day(self, year: int, month: int, day: int) -> DayWorkload:
+        """Generate one calendar day of traffic."""
+        rng = random.Random(f"{self.seed}:{year:04d}-{month:02d}-{day:02d}")
+        day_start = millis_for_hour(
+            LogHour(CLIENT_EVENTS_CATEGORY, year, month, day, 0)
+        )
+        events: List[ClientEvent] = []
+        sessions = 0
+        funnel_entries = 0
+
+        from repro.workload.population import CLIENTS
+
+        for user in self.population:
+            expected = self._sessions_per_user * min(user.activity, 10.0) / 2.0
+            num_sessions = _poisson(rng, expected)
+            did_signup = False
+            secondary = None
+            if self._multi_device and rng.random() < self._multi_device:
+                others = [c for c, __ in CLIENTS if c != user.client]
+                secondary = rng.choice(others)
+            for k in range(num_sessions):
+                start = day_start + _diurnal_offset_ms(rng)
+                client = user.client
+                if secondary is not None and rng.random() < 0.4:
+                    client = secondary
+                if user.is_new and not did_signup:
+                    model = self._signup_model(client)
+                    did_signup = True
+                    funnel_entries += 1
+                else:
+                    model = self._browsing_model(client)
+                session_events = self._emit_session(
+                    rng, user, model, start, session_index=k,
+                    date=(year, month, day),
+                )
+                if session_events:
+                    events.append(session_events[0])
+                    events.extend(session_events[1:])
+                    sessions += 1
+
+        # Logs arrive only partially time-ordered (§2): shuffle lightly
+        # within the day to mimic aggregator interleaving.
+        events.sort(key=lambda e: (e.timestamp // (10 * MILLIS_PER_MINUTE),
+                                   e.user_id))
+        return DayWorkload(date=(year, month, day), events=events,
+                           sessions_generated=sessions,
+                           funnel_entries=funnel_entries)
+
+    def _emit_session(self, rng: random.Random, user: UserProfile,
+                      model: MarkovBehavior, start_ms: int,
+                      session_index: int,
+                      date: Tuple[int, int, int]) -> List[ClientEvent]:
+        names = model.sample(rng)
+        if not names:
+            return []
+        session_id = (f"{user.user_id:08d}-{date[0]:04d}{date[1]:02d}"
+                      f"{date[2]:02d}-{session_index:02d}")
+        events: List[ClientEvent] = []
+        timestamp = start_ms
+        for i, name in enumerate(names):
+            if i:
+                timestamp += _inter_event_gap_ms(rng)
+            initiator = (EventInitiator.CLIENT_APP
+                         if rng.random() < 0.06
+                         else EventInitiator.CLIENT_USER)
+            events.append(ClientEvent.make(
+                name, user_id=user.user_id, session_id=session_id,
+                ip=user.ip, timestamp=timestamp, initiator=initiator,
+                details=self._details(rng, name),
+                country=user.country, logged_in=user.logged_in,
+            ))
+        return events
+
+    def _details(self, rng: random.Random, name: str) -> Dict[str, str]:
+        """Verbose event-specific key-value payload.
+
+        "the event details field holds event-specific details as key-value
+        pairs ... the id of the profile clicked on ... the target URL,
+        rank in the result list" (§3.2).
+        """
+        details: Dict[str, str] = {}
+        action = name.rsplit(":", 1)[1]
+        if action in ("impression", "view"):
+            details["tweet_id"] = str(rng.randint(10 ** 15, 10 ** 16))
+            details["author_id"] = str(rng.randint(1, 10 ** 9))
+            details["position"] = str(rng.randint(0, 50))
+        elif action in ("click", "profile_click", "expand", "submit"):
+            details["target_id"] = str(rng.randint(1, 10 ** 9))
+            details["target_url"] = (
+                f"https://twitter.com/intent/{action}/"
+                f"{rng.randint(10 ** 9, 10 ** 10)}"
+            )
+            details["rank"] = str(rng.randint(0, 20))
+        elif action == "query":
+            details["raw_query"] = " ".join(
+                rng.choice(_QUERY_TERMS) for __ in range(rng.randint(1, 4))
+            )
+            details["result_count"] = str(rng.randint(0, 500))
+        elif action in ("follow", "favorite", "reply", "retweet"):
+            details["target_user_id"] = str(rng.randint(1, 10 ** 9))
+        # Common envelope fields every client attaches.
+        for i in range(self._verbosity):
+            details[f"ctx_{i}"] = format(rng.getrandbits(48), "012x")
+        details["client_version"] = f"4.{rng.randint(0, 9)}.{rng.randint(0, 20)}"
+        details["lang"] = rng.choice(("en", "ja", "pt", "es", "de", "fr"))
+        return details
+
+
+_QUERY_TERMS = ("news", "sports", "music", "election", "weather", "tech",
+                "movie", "football", "earthquake", "olympics")
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's algorithm; adequate for small lambda."""
+    if lam <= 0:
+        return 0
+    import math
+
+    threshold = math.exp(-lam)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+def _diurnal_offset_ms(rng: random.Random) -> int:
+    hour = rng.choices(range(24), weights=DIURNAL)[0]
+    return (hour * MILLIS_PER_HOUR
+            + rng.randint(0, MILLIS_PER_HOUR - 1))
+
+
+def _inter_event_gap_ms(rng: random.Random) -> int:
+    """Gap between consecutive events: ~1 s to a few minutes, always under
+    the 30-minute session cutoff."""
+    gap = rng.lognormvariate(1.8, 1.1)  # median ~6 s
+    seconds = max(0.5, min(gap, 8 * 60))
+    return int(seconds * MILLIS_PER_SECOND)
+
+
+def load_warehouse_day(warehouse: HDFS, workload: DayWorkload,
+                       events_per_file: int = 2_000,
+                       codec: str = "zlib") -> str:
+    """Deposit a generated day into warehouse layout (as the mover would)."""
+    from repro.core.builder import write_day_events
+
+    year, month, day = workload.date
+    return write_day_events(warehouse, workload.events, year, month, day,
+                            events_per_file=events_per_file, codec=codec)

@@ -1,0 +1,93 @@
+"""Synthetic user population.
+
+Stands in for Twitter's user base: per-user country, preferred client,
+logged-in status, and a power-law activity level (a small fraction of
+users generates most events, which is what gives event-frequency
+histograms the skew the dictionary's variable-length coding exploits).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+COUNTRIES: Tuple[Tuple[str, float], ...] = (
+    ("us", 0.40), ("jp", 0.12), ("uk", 0.10), ("br", 0.09),
+    ("in", 0.08), ("de", 0.06), ("fr", 0.05), ("id", 0.05),
+    ("ca", 0.03), ("au", 0.02),
+)
+
+CLIENTS: Tuple[Tuple[str, float], ...] = (
+    ("web", 0.45), ("iphone", 0.25), ("android", 0.20), ("ipad", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One synthetic user."""
+
+    user_id: int
+    country: str
+    client: str
+    logged_in: bool
+    activity: float      # relative session-count multiplier (power-law)
+    is_new: bool         # new users go through the signup funnel
+    ip: str
+
+
+class UserPopulation:
+    """A deterministic population of :class:`UserProfile` objects."""
+
+    def __init__(self, num_users: int, seed: int = 0,
+                 new_user_fraction: float = 0.12,
+                 logged_out_fraction: float = 0.15) -> None:
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        rng = random.Random(seed)
+        self.users: List[UserProfile] = []
+        for uid in range(1, num_users + 1):
+            # Pareto-ish activity: most users light, few heavy.
+            activity = min(rng.paretovariate(1.5), 50.0)
+            self.users.append(UserProfile(
+                user_id=uid,
+                country=_weighted_choice(rng, COUNTRIES),
+                client=_weighted_choice(rng, CLIENTS),
+                logged_in=rng.random() >= logged_out_fraction,
+                activity=activity,
+                is_new=rng.random() < new_user_fraction,
+                ip=_synthetic_ip(rng),
+            ))
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def by_country(self) -> Dict[str, List[UserProfile]]:
+        """Users grouped by country."""
+        out: Dict[str, List[UserProfile]] = {}
+        for user in self.users:
+            out.setdefault(user.country, []).append(user)
+        return out
+
+    def new_users(self) -> List[UserProfile]:
+        """Users who will go through the signup funnel."""
+        return [user for user in self.users if user.is_new]
+
+
+def _weighted_choice(rng: random.Random,
+                     table: Sequence[Tuple[str, float]]) -> str:
+    roll = rng.random() * sum(weight for __, weight in table)
+    cumulative = 0.0
+    for value, weight in table:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return table[-1][0]
+
+
+def _synthetic_ip(rng: random.Random) -> str:
+    return (f"{rng.randint(1, 223)}.{rng.randint(0, 255)}."
+            f"{rng.randint(0, 255)}.{rng.randint(1, 254)}")

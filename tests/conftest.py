@@ -1,0 +1,60 @@
+"""Shared fixtures: a small generated day of traffic, built artifacts.
+
+Expensive fixtures are session-scoped; tests must not mutate them. Tests
+needing a private warehouse build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import SessionSequenceBuilder
+from repro.hdfs.namenode import HDFS
+from repro.workload.generator import WorkloadGenerator, load_warehouse_day
+
+DATE = (2012, 3, 10)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """One generated day: ~200 users, deterministic."""
+    generator = WorkloadGenerator(num_users=200, seed=42)
+    return generator.generate_day(*DATE)
+
+
+@pytest.fixture(scope="session")
+def warehouse(workload):
+    """A warehouse HDFS holding the generated day plus built artifacts."""
+    fs = HDFS()
+    load_warehouse_day(fs, workload)
+    builder = SessionSequenceBuilder(fs)
+    builder.run(*DATE)
+    return fs
+
+
+@pytest.fixture(scope="session")
+def builder(warehouse):
+    return SessionSequenceBuilder(warehouse)
+
+
+@pytest.fixture(scope="session")
+def build_result(warehouse):
+    # Rebuild result object cheaply by re-running on the same warehouse
+    # is wasteful; instead run once here and reuse.
+    builder = SessionSequenceBuilder(warehouse)
+    return builder.run(*DATE)
+
+
+@pytest.fixture(scope="session")
+def dictionary(builder):
+    return builder.load_dictionary(*DATE)
+
+
+@pytest.fixture(scope="session")
+def sequence_records(builder):
+    return list(builder.iter_sequences(*DATE))
+
+
+@pytest.fixture(scope="session")
+def date():
+    return DATE

@@ -1,0 +1,163 @@
+"""Funnel analytics tests (§5.3)."""
+
+import pytest
+
+from repro.analytics.funnel import ClientEventsFunnel, FunnelReport, run_funnel
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+from repro.workload.behavior import FUNNEL_CONTINUE, signup_funnel_stages
+
+S1 = "web:signup:step_credentials:form:fields:submit"
+S2 = "web:signup:step_interests:form:fields:submit"
+S3 = "web:signup:step_suggestions:form:fields:submit"
+OTHER = "web:home:timeline:stream:tweet:impression"
+NAMES = [S1, S2, S3, OTHER]
+
+
+@pytest.fixture
+def small_dictionary():
+    return EventDictionary(NAMES)
+
+
+def _record(dictionary, names, user_id=1):
+    return SessionSequenceRecord(
+        user_id=user_id, session_id=f"s{user_id}", ip="1.1.1.1",
+        session_sequence=dictionary.encode(names), duration=10)
+
+
+class TestClientEventsFunnel:
+    def test_full_completion(self, small_dictionary):
+        funnel = ClientEventsFunnel([S1, S2, S3], small_dictionary)
+        assert funnel(_record(small_dictionary, [S1, OTHER, S2, S3])) == 3
+
+    def test_partial_completion(self, small_dictionary):
+        funnel = ClientEventsFunnel([S1, S2, S3], small_dictionary)
+        assert funnel(_record(small_dictionary, [S1, OTHER])) == 1
+        assert funnel(_record(small_dictionary, [S1, S2])) == 2
+
+    def test_zero_stages(self, small_dictionary):
+        funnel = ClientEventsFunnel([S1, S2], small_dictionary)
+        assert funnel(_record(small_dictionary, [OTHER, OTHER])) == 0
+
+    def test_order_matters(self, small_dictionary):
+        """Stages must appear as an ordered subsequence."""
+        funnel = ClientEventsFunnel([S1, S2], small_dictionary)
+        assert funnel(_record(small_dictionary, [S2, S1])) == 1
+
+    def test_intervening_events_allowed(self, small_dictionary):
+        funnel = ClientEventsFunnel([S1, S2], small_dictionary)
+        record = _record(small_dictionary, [OTHER, S1] + [OTHER] * 10 + [S2])
+        assert funnel(record) == 2
+
+    def test_stage_patterns_expand(self, small_dictionary):
+        """Stages may be patterns, not just literal events."""
+        funnel = ClientEventsFunnel(
+            ["web:signup:step_credentials:*", "web:signup:step_interests:*"],
+            small_dictionary)
+        assert funnel(_record(small_dictionary, [S1, S2])) == 2
+
+    def test_needs_at_least_one_stage(self, small_dictionary):
+        with pytest.raises(ValueError):
+            ClientEventsFunnel([], small_dictionary)
+
+    def test_accepts_plain_string(self, small_dictionary):
+        funnel = ClientEventsFunnel([S1], small_dictionary)
+        assert funnel(small_dictionary.encode([S1])) == 1
+
+
+class TestFunnelReport:
+    def test_rows_paper_shape(self):
+        """Output shape: (0, entered), (1, stage1), ... like the paper's
+        (0, 490123) (1, 297071)."""
+        report = FunnelReport(stage_patterns=[S1, S2],
+                              entered=490123, stage_counts=[297071, 100000])
+        assert report.rows() == [(0, 490123), (1, 297071), (2, 100000)]
+
+    def test_abandonment(self):
+        report = FunnelReport(stage_patterns=[S1, S2],
+                              entered=100, stage_counts=[50, 25])
+        assert report.abandonment() == [0.5, 0.5]
+        assert report.completion_rate == 0.25
+
+    def test_zero_entered(self):
+        report = FunnelReport(stage_patterns=[S1], entered=0,
+                              stage_counts=[0])
+        assert report.completion_rate == 0.0
+        assert report.abandonment() == [0.0]
+
+
+class TestRunFunnel:
+    def test_monotone_nonincreasing(self, warehouse, date, dictionary):
+        stages = signup_funnel_stages("web")
+        report = run_funnel(warehouse, date, stages, dictionary)
+        counts = [report.entered] + report.stage_counts
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert report.entered > 0
+
+    def test_stage1_roughly_matches_continue_rate(self, warehouse, date,
+                                                  dictionary, workload):
+        """The measured stage-1 completion among funnel entrants should
+        track the generator's configured continuation probability."""
+        stages = signup_funnel_stages("web")
+        report = run_funnel(warehouse, date, stages, dictionary)
+        entered_funnel = sum(
+            1 for r in _records_entering(warehouse, date, dictionary))
+        if entered_funnel >= 20:  # enough signal
+            rate = report.stage_counts[0] / entered_funnel
+            assert abs(rate - FUNNEL_CONTINUE[0]) < 0.25
+
+    def test_unique_users_never_exceeds_sessions(self, warehouse, date,
+                                                 dictionary):
+        stages = signup_funnel_stages("web")
+        by_session = run_funnel(warehouse, date, stages, dictionary)
+        by_user = run_funnel(warehouse, date, stages, dictionary,
+                             unique_users=True)
+        for s_count, u_count in zip(by_session.stage_counts,
+                                    by_user.stage_counts):
+            assert u_count <= s_count
+        assert by_user.entered <= by_session.entered
+
+
+def _records_entering(warehouse, date, dictionary):
+    import re
+
+    from repro.core.builder import SessionSequenceBuilder
+
+    builder = SessionSequenceBuilder(warehouse)
+    view = re.compile(dictionary.symbol_class(
+        "web:signup:step_credentials:form:fields:view"))
+    for record in builder.iter_sequences(*date):
+        if view.search(record.session_sequence):
+            yield record
+
+
+class TestControlCharacterSymbols:
+    """Code points 0x0A/0x0D (newline/CR) are legal dictionary symbols
+    (frequent events get small code points); every regex over session
+    sequences must treat them as ordinary characters."""
+
+    def test_funnel_spans_newline_symbol(self):
+        # build a dictionary whose 10th code point (U+000A) is in use
+        names = [f"web:p{i}::::a{i}" for i in range(30)]
+        d = EventDictionary(names)
+        newline_name = d.name_for(0x0A)
+        first, last = names[0], names[20]
+        funnel = ClientEventsFunnel([first, last], d)
+        record = SessionSequenceRecord(
+            user_id=1, session_id="s", ip="1.1.1.1",
+            session_sequence=d.encode([first, newline_name, last]),
+            duration=1)
+        assert "\n" in record.session_sequence
+        assert funnel(record) == 2  # the .* crosses the newline
+
+    def test_counting_newline_symbol_itself(self):
+        from repro.analytics.counting import CountClientEvents
+
+        names = [f"web:p{i}::::a{i}" for i in range(30)]
+        d = EventDictionary(names)
+        newline_name = d.name_for(0x0A)
+        udf = CountClientEvents(newline_name, d)
+        record = SessionSequenceRecord(
+            user_id=1, session_id="s", ip="1.1.1.1",
+            session_sequence=d.encode([newline_name] * 3), duration=1)
+        assert udf(record) == 3

@@ -1,0 +1,222 @@
+"""LifeFlow aggregation and A/B testing tests (§5.3, §6)."""
+
+import pytest
+
+from repro.analytics.abtest import (
+    ABResult,
+    Experiment,
+    compare_proportions,
+    evaluate_metric,
+)
+from repro.analytics.lifeflow import (
+    LifeFlowTree,
+    action_level,
+    page_level,
+)
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+A = "web:home:timeline:stream:tweet:impression"
+B = "web:home:timeline:stream:tweet:click"
+C = "web:search::search_box:input:query"
+NAMES = [A, B, C]
+
+
+@pytest.fixture
+def d():
+    return EventDictionary(NAMES)
+
+
+def _record(d, names, user_id=1):
+    return SessionSequenceRecord(
+        user_id=user_id, session_id=f"s{user_id}", ip="1.1.1.1",
+        session_sequence=d.encode(names), duration=10)
+
+
+class TestLifeFlowTree:
+    def test_counts_flow_through_prefixes(self):
+        tree = LifeFlowTree()
+        tree.add_sequence([A, B])
+        tree.add_sequence([A, C])
+        tree.add_sequence([C])
+        assert tree.total_sessions == 3
+        assert tree.flows_through([A]) == 2
+        assert tree.flows_through([A, B]) == 1
+        assert tree.flows_through([C]) == 1
+        assert tree.flows_through([B]) == 0
+
+    def test_terminations(self):
+        tree = LifeFlowTree()
+        tree.add_sequence([A])
+        tree.add_sequence([A, B])
+        node_a = tree.root.children[A]
+        assert node_a.terminations == 1
+        assert node_a.children[B].terminations == 1
+
+    def test_max_depth_truncates(self):
+        tree = LifeFlowTree(max_depth=2)
+        tree.add_sequence([A, B, C, A, B])
+        assert tree.flows_through([A, B]) == 1
+        assert tree.flows_through([A, B, C]) == 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            LifeFlowTree(max_depth=0)
+
+    def test_dominant_path(self):
+        tree = LifeFlowTree()
+        for __ in range(5):
+            tree.add_sequence([A, B])
+        tree.add_sequence([C])
+        assert tree.dominant_path() == [A, B]
+
+    def test_simplifier_merges_flows(self):
+        tree = LifeFlowTree(simplify=action_level)
+        tree.add_sequence([A])
+        tree.add_sequence(["iphone:home:timeline:stream:tweet:impression"])
+        assert tree.flows_through(["impression"]) == 2
+
+    def test_page_level_simplifier(self):
+        assert page_level(A) == "home:impression"
+        assert page_level(C) == "search:query"
+
+    def test_branch_factor(self):
+        tree = LifeFlowTree()
+        tree.add_sequence([A, B])
+        tree.add_sequence([A, C])
+        # root has 1 child; A has 2 children -> mean 1.5
+        assert tree.branch_factor() == pytest.approx(1.5)
+
+    def test_add_records(self, d):
+        tree = LifeFlowTree().add_records(
+            [_record(d, [A, B]), _record(d, [A], user_id=2)], d)
+        assert tree.total_sessions == 2
+        assert tree.flows_through([A]) == 2
+
+    def test_render_shows_traffic(self):
+        tree = LifeFlowTree(simplify=action_level)
+        for __ in range(10):
+            tree.add_sequence([A, B])
+        tree.add_sequence([C])
+        text = tree.render(min_fraction=0.05)
+        assert "impression" in text
+        assert "[11 sessions]" in text
+        assert "#" in text
+
+    def test_render_elides_minor_branches(self):
+        tree = LifeFlowTree(simplify=action_level)
+        for __ in range(100):
+            tree.add_sequence([A])
+        tree.add_sequence([C])  # 1% of traffic
+        text = tree.render(min_fraction=0.05)
+        assert "minor branch" in text
+        assert "query" not in text
+
+
+class TestExperimentAssignment:
+    def test_deterministic_assignment(self):
+        experiment = Experiment("exp1")
+        assert all(experiment.assign(uid) == experiment.assign(uid)
+                   for uid in range(100))
+
+    def test_roughly_even_split(self):
+        experiment = Experiment("exp1")
+        buckets = [experiment.assign(uid) for uid in range(2000)]
+        treatment_share = buckets.count("treatment") / len(buckets)
+        assert 0.45 < treatment_share < 0.55
+
+    def test_weighted_split(self):
+        experiment = Experiment("exp2", buckets=("control", "treatment"),
+                                weights=(9, 1))
+        buckets = [experiment.assign(uid) for uid in range(5000)]
+        assert 0.05 < buckets.count("treatment") / len(buckets) < 0.15
+
+    def test_salt_changes_assignment(self):
+        a = Experiment("exp", salt="a")
+        b = Experiment("exp", salt="b")
+        assignments_differ = any(a.assign(uid) != b.assign(uid)
+                                 for uid in range(50))
+        assert assignments_differ
+
+    def test_different_experiments_independent(self):
+        a = Experiment("exp_a")
+        b = Experiment("exp_b")
+        assert any(a.assign(uid) != b.assign(uid) for uid in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Experiment("x", buckets=("only",))
+        with pytest.raises(ValueError):
+            Experiment("x", buckets=("a", "a"))
+        with pytest.raises(ValueError):
+            Experiment("x", weights=(1,))
+        with pytest.raises(ValueError):
+            Experiment("x", weights=(1, 0))
+
+    def test_split_partitions_records(self, d):
+        experiment = Experiment("exp1")
+        records = [_record(d, [A], user_id=uid) for uid in range(100)]
+        split = experiment.split(records)
+        assert sum(len(v) for v in split.values()) == 100
+        for bucket, bucket_records in split.items():
+            for record in bucket_records:
+                assert experiment.assign(record.user_id) == bucket
+
+
+class TestABComparison:
+    def _records_with_rates(self, d, control_rate, treatment_rate, n=400):
+        """Users whose conversion depends on their (hashed) bucket."""
+        import random
+
+        rng = random.Random(0)
+        experiment = Experiment("funnel_exp")
+        records = []
+        for uid in range(1, n + 1):
+            rate = (treatment_rate
+                    if experiment.assign(uid) == "treatment"
+                    else control_rate)
+            names = [A, B] if rng.random() < rate else [A]
+            records.append(_record(d, names, user_id=uid))
+        return experiment, records
+
+    def test_detects_real_lift(self, d):
+        experiment, records = self._records_with_rates(d, 0.2, 0.5)
+        converted = lambda r: 1.0 if d.symbol_for(B) in r.session_sequence \
+            else 0.0
+        result = compare_proportions(experiment, records, converted,
+                                     metric_name="clicked")
+        assert result.treatment.mean > result.control.mean
+        assert result.lift > 0.5
+        assert result.significant(alpha=0.05)
+
+    def test_null_effect_not_significant(self, d):
+        experiment, records = self._records_with_rates(d, 0.3, 0.3)
+        converted = lambda r: 1.0 if d.symbol_for(B) in r.session_sequence \
+            else 0.0
+        result = compare_proportions(experiment, records, converted)
+        assert result.p_value > 0.01  # no fabricated significance
+
+    def test_evaluate_metric_totals(self, d):
+        experiment = Experiment("count_exp")
+        records = [_record(d, [A, A, B], user_id=uid) for uid in range(50)]
+        per_bucket = evaluate_metric(experiment, records,
+                                     lambda r: r.num_events)
+        assert sum(b.total for b in per_bucket.values()) == 150
+        assert all(b.mean == 3.0 for b in per_bucket.values()
+                   if b.sessions)
+
+    def test_empty_buckets_safe(self, d):
+        experiment = Experiment("empty_exp")
+        result = compare_proportions(experiment, [], lambda r: 1.0)
+        assert result.z_score == 0.0
+        assert result.lift == 0.0
+
+    def test_infinite_lift_from_zero_control(self):
+        from repro.analytics.abtest import ABResult, BucketResult
+
+        result = ABResult(
+            metric_name="m",
+            control=BucketResult("control", 10, 0.0),
+            treatment=BucketResult("treatment", 10, 5.0),
+            z_score=2.0, p_value=0.04)
+        assert result.lift == float("inf")

@@ -1,0 +1,166 @@
+"""CTR/FTR, navigation, and dashboard tests (§4.1, §5.1)."""
+
+import pytest
+
+from repro.analytics.ctr import FeatureRates, ctr, ftr
+from repro.analytics.dashboard import (
+    BirdBrain,
+    DEFAULT_DURATION_BUCKETS,
+    bucket_label,
+    summarize_day,
+)
+from repro.analytics.navigation import (
+    feature_usage,
+    followed_by,
+    top_transitions,
+    transition_counts,
+)
+from repro.core.dictionary import EventDictionary
+from repro.core.sequences import SessionSequenceRecord
+
+IMP = "web:home:suggestions:who_to_follow:user_card:impression"
+CLICK = "web:home:suggestions:who_to_follow:user_card:click"
+FOLLOW = "web:home:suggestions:who_to_follow:user_card:follow"
+OTHER = "web:home:timeline:stream:tweet:impression"
+NAMES = [IMP, CLICK, FOLLOW, OTHER]
+
+
+@pytest.fixture
+def d():
+    return EventDictionary(NAMES)
+
+
+def _record(d, names, user_id=1, duration=10):
+    return SessionSequenceRecord(
+        user_id=user_id, session_id=f"s{user_id}", ip="1.1.1.1",
+        session_sequence=d.encode(names), duration=duration)
+
+
+class TestRates:
+    def test_ctr_counts_ordered_clicks(self, d):
+        records = [_record(d, [IMP, IMP, CLICK]),
+                   _record(d, [IMP], user_id=2),
+                   _record(d, [CLICK], user_id=3)]  # click w/o impression
+        report = ctr("wtf", IMP, CLICK, d, records)
+        assert report.impressions == 3
+        assert report.actions == 1  # orphan click not counted (ordered)
+        assert report.rate == pytest.approx(1 / 3)
+        assert report.sessions == 3
+
+    def test_unordered_mode_counts_all_actions(self, d):
+        records = [_record(d, [CLICK, IMP])]
+        rates = FeatureRates("wtf", IMP, CLICK, d,
+                             followed_within_session=False)
+        assert rates.measure(records).actions == 1
+
+    def test_ftr(self, d):
+        records = [_record(d, [IMP, CLICK, FOLLOW]),
+                   _record(d, [IMP], user_id=2)]
+        report = ftr("wtf", IMP, FOLLOW, d, records)
+        assert report.actions == 1
+        assert report.impressions == 2
+
+    def test_user_filter_subsets(self, d):
+        records = [_record(d, [IMP, CLICK], user_id=1),
+                   _record(d, [IMP], user_id=2)]
+        report = ctr("wtf", IMP, CLICK, d, records,
+                     user_filter=lambda r: r.user_id == 1)
+        assert report.sessions == 1
+        assert report.impressions == 1
+
+    def test_zero_impressions_zero_rate(self, d):
+        report = ctr("wtf", IMP, CLICK, d, [_record(d, [OTHER])])
+        assert report.rate == 0.0
+
+    def test_realistic_ctr_band(self, dictionary, sequence_records):
+        """On the generated workload, who-to-follow CTR is a plausible
+        single-digit percentage, and FTR <= CTR + follow noise."""
+        report = ctr("wtf", "*:user_card:impression", "*:user_card:click",
+                     dictionary, sequence_records)
+        assert 0.01 < report.rate < 0.5
+        assert report.impressions > 50
+
+
+class TestNavigation:
+    def test_transition_counts(self, d):
+        records = [_record(d, [IMP, CLICK, IMP])]
+        counts = transition_counts(records, d)
+        assert counts[(IMP, CLICK)] == 1
+        assert counts[(CLICK, IMP)] == 1
+
+    def test_followed_by_anywhere(self, d):
+        records = [_record(d, [IMP, OTHER, CLICK])]
+        rate = followed_by(records, d, IMP, CLICK)
+        assert rate.antecedents == 1
+        assert rate.followed == 1
+        assert rate.rate == 1.0
+
+    def test_followed_by_immediately(self, d):
+        records = [_record(d, [IMP, OTHER, CLICK])]
+        rate = followed_by(records, d, IMP, CLICK, immediately=True)
+        assert rate.followed == 0
+
+    def test_feature_usage(self, d):
+        records = [_record(d, [IMP]), _record(d, [OTHER], user_id=2)]
+        using, total = feature_usage(records, d, "*:*:*:*:user_card:*")
+        assert (using, total) == (1, 2)
+
+    def test_top_transitions_on_workload(self, dictionary, sequence_records):
+        top = top_transitions(sequence_records, dictionary, n=5)
+        assert len(top) == 5
+        counts = [count for __, count in top]
+        assert counts == sorted(counts, reverse=True)
+        # timeline impressions chain is the most common transition
+        (a, b), __ = top[0]
+        assert a.endswith(":impression") and b.endswith(":impression")
+
+
+class TestBucketLabel:
+    @pytest.mark.parametrize("duration,label", [
+        (0, "0-30s"), (29, "0-30s"), (30, "30-60s"), (299, "60-300s"),
+        (1800, "1800s+"), (10 ** 6, "1800s+"),
+    ])
+    def test_buckets(self, duration, label):
+        assert bucket_label(duration, DEFAULT_DURATION_BUCKETS) == label
+
+
+class TestDashboard:
+    def test_summarize_day(self, date, dictionary, sequence_records):
+        summary = summarize_day(date, sequence_records, dictionary)
+        assert summary.sessions == len(sequence_records)
+        assert summary.events == sum(r.num_events for r in sequence_records)
+        assert 0 < summary.distinct_users <= summary.sessions
+        assert sum(summary.sessions_by_client.values()) == summary.sessions
+        assert sum(summary.duration_histogram.values()) == summary.sessions
+        assert summary.mean_session_events > 1
+
+    def test_birdbrain_time_series(self, date, dictionary, sequence_records):
+        board = BirdBrain()
+        day1 = summarize_day(date, sequence_records, dictionary)
+        day2 = summarize_day((date[0], date[1], date[2] + 1),
+                             sequence_records[: len(sequence_records) // 2],
+                             dictionary)
+        board.add_day(day1)
+        board.add_day(day2)
+        series = board.sessions_over_time()
+        assert len(series) == 2
+        assert series[0][1] == day1.sessions
+        assert board.growth_rate() == pytest.approx(
+            day2.sessions / day1.sessions - 1)
+
+    def test_birdbrain_drilldowns(self, date, dictionary, sequence_records):
+        board = BirdBrain()
+        board.add_day(summarize_day(date, sequence_records, dictionary))
+        by_client = board.sessions_by_client(date)
+        assert set(by_client) <= {"web", "iphone", "android", "ipad",
+                                  "unknown"}
+        share = board.client_share_over_time("web")
+        assert 0 < share[0][1] < 1
+
+    def test_growth_rate_needs_two_days(self):
+        assert BirdBrain().growth_rate() is None
+
+    def test_summary_empty_day(self, date, dictionary):
+        summary = summarize_day(date, [], dictionary)
+        assert summary.sessions == 0
+        assert summary.mean_session_events == 0.0

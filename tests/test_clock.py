@@ -1,0 +1,54 @@
+"""Logical clock tests."""
+
+import pytest
+
+from repro.clock import (
+    LogicalClock,
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    MILLIS_PER_SECOND,
+)
+
+
+class TestConstants:
+    def test_unit_relationships(self):
+        assert MILLIS_PER_MINUTE == 60 * MILLIS_PER_SECOND
+        assert MILLIS_PER_HOUR == 60 * MILLIS_PER_MINUTE
+        assert MILLIS_PER_DAY == 24 * MILLIS_PER_HOUR
+
+
+class TestLogicalClock:
+    def test_starts_at_given_time(self):
+        assert LogicalClock(500).now() == 500
+
+    def test_default_start_is_zero(self):
+        assert LogicalClock().now() == 0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock(-1)
+
+    def test_advance(self):
+        clock = LogicalClock()
+        assert clock.advance(100) == 100
+        assert clock.now() == 100
+
+    def test_advance_zero_allowed(self):
+        clock = LogicalClock(5)
+        clock.advance(0)
+        assert clock.now() == 5
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = LogicalClock(10)
+        clock.advance_to(100)
+        assert clock.now() == 100
+
+    def test_advance_to_past_is_noop(self):
+        clock = LogicalClock(100)
+        clock.advance_to(50)
+        assert clock.now() == 100

@@ -1,0 +1,154 @@
+"""Client event catalog tests (§4.3)."""
+
+import pytest
+
+from repro.core.catalog import ClientEventCatalog
+
+COUNTS = {
+    "web:home:timeline:stream:tweet:impression": 1000,
+    "web:home:timeline:stream:tweet:click": 100,
+    "web:search::results:result:click": 50,
+    "iphone:home:timeline:stream:tweet:impression": 400,
+}
+SAMPLES = {
+    "web:home:timeline:stream:tweet:click": [{"user_id": 1}],
+}
+
+
+@pytest.fixture
+def catalog():
+    return ClientEventCatalog(COUNTS, SAMPLES)
+
+
+class TestAccess:
+    def test_len_and_contains(self, catalog):
+        assert len(catalog) == 4
+        assert "web:search::results:result:click" in catalog
+        assert "nope" not in catalog
+
+    def test_entries_most_frequent_first(self, catalog):
+        entries = catalog.entries()
+        counts = [e.count for e in entries]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_entry_with_samples(self, catalog):
+        entry = catalog.entry("web:home:timeline:stream:tweet:click")
+        assert entry.samples == [{"user_id": 1}]
+
+    def test_missing_entry_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.entry("ghost")
+
+
+class TestBrowsing:
+    def test_browse_clients(self, catalog):
+        clients = catalog.browse()
+        assert clients == {"web": 1150, "iphone": 400}
+
+    def test_browse_pages_of_client(self, catalog):
+        pages = catalog.browse("web")
+        assert pages == {"home": 1100, "search": 50}
+
+    def test_browse_below_action_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.browse("web", "home", "timeline", "stream", "tweet",
+                           "impression")
+
+    def test_by_component(self, catalog):
+        clicks = catalog.by_component("action", "click")
+        assert len(clicks) == 2
+        with pytest.raises(ValueError):
+            catalog.by_component("nonsense", "x")
+
+
+class TestSearching:
+    def test_wildcard_search(self, catalog):
+        hits = catalog.search("*:impression")
+        assert len(hits) == 2
+
+    def test_regex_search(self, catalog):
+        hits = catalog.search_regex(r"^web:search")
+        assert len(hits) == 1
+
+
+class TestCuration:
+    def test_describe(self, catalog):
+        name = "web:search::results:result:click"
+        catalog.describe(name, "User clicked a search result")
+        assert catalog.entry(name).description == \
+            "User clicked a search result"
+
+    def test_undocumented_most_frequent_first(self, catalog):
+        catalog.describe("web:home:timeline:stream:tweet:impression", "doc")
+        undocumented = catalog.undocumented()
+        assert "web:home:timeline:stream:tweet:impression" not in undocumented
+        assert undocumented[0] == "iphone:home:timeline:stream:tweet:impression"
+
+    def test_descriptions_carry_across_daily_rebuild(self, catalog):
+        """§4.3: the catalog is rebuilt every day; developer descriptions
+        must survive."""
+        catalog.describe("web:search::results:result:click", "kept")
+        tomorrow = ClientEventCatalog(
+            {**COUNTS, "web:discover:trends:trend_list:trend:click": 7})
+        carried = tomorrow.carry_descriptions_from(catalog)
+        assert carried == 1
+        assert tomorrow.entry("web:search::results:result:click") \
+            .description == "kept"
+
+    def test_carry_does_not_overwrite(self, catalog):
+        catalog.describe("web:search::results:result:click", "old")
+        tomorrow = ClientEventCatalog(COUNTS)
+        tomorrow.describe("web:search::results:result:click", "new")
+        tomorrow.carry_descriptions_from(catalog)
+        assert tomorrow.entry("web:search::results:result:click") \
+            .description == "new"
+
+
+class TestPersistence:
+    def test_bytes_roundtrip(self, catalog):
+        catalog.describe("web:search::results:result:click", "described")
+        restored = ClientEventCatalog.from_bytes(catalog.to_bytes())
+        assert len(restored) == len(catalog)
+        assert restored.entry("web:search::results:result:click") \
+            .description == "described"
+        assert restored.entry("web:home:timeline:stream:tweet:click") \
+            .samples == [{"user_id": 1}]
+
+
+class TestBuiltFromWarehouse:
+    def test_catalog_from_builder_artifacts(self, builder, date):
+        histogram = builder.load_histogram(*date)
+        samples = builder.load_samples(*date)
+        catalog = ClientEventCatalog(histogram, samples)
+        assert len(catalog) == len(histogram)
+        clients = catalog.browse()
+        assert set(clients) <= {"web", "iphone", "android", "ipad"}
+        # samples show complete Thrift structures
+        top = catalog.entries()[0]
+        assert top.samples
+        assert "user_id" in top.samples[0]
+
+
+class TestDetailsSchemaIntegration:
+    def test_attach_details_schemas(self, builder, date, workload):
+        from repro.core.details_schema import DetailsSchemaInferencer
+
+        catalog = ClientEventCatalog(builder.load_histogram(*date),
+                                     builder.load_samples(*date))
+        inferencer = DetailsSchemaInferencer().observe_all(workload.events)
+        attached = catalog.attach_details_schemas(inferencer)
+        assert attached > 0
+        top = catalog.entries()[0]
+        assert top.details_schema
+        assert any("obligatory" in line for line in top.details_schema)
+
+    def test_details_schema_persists(self, builder, date, workload):
+        from repro.core.details_schema import DetailsSchemaInferencer
+
+        catalog = ClientEventCatalog(builder.load_histogram(*date),
+                                     builder.load_samples(*date))
+        inferencer = DetailsSchemaInferencer().observe_all(workload.events)
+        catalog.attach_details_schemas(inferencer)
+        restored = ClientEventCatalog.from_bytes(catalog.to_bytes())
+        top = restored.entries()[0]
+        assert top.details_schema == catalog.entries()[0].details_schema

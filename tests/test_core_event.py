@@ -1,0 +1,119 @@
+"""Client event struct tests (Table 2) and schema evolution."""
+
+import pytest
+
+from repro.core.event import (
+    CLIENT_EVENTS_CATEGORY,
+    ClientEvent,
+    ClientEventV1,
+    EventInitiator,
+)
+from repro.core.names import InvalidEventNameError
+from repro.thriftlike.types import ValidationError
+
+NAME = "web:home:mentions:stream:avatar:profile_click"
+
+
+def _event(**overrides):
+    defaults = dict(name=NAME, user_id=42, session_id="cookie-1",
+                    ip="10.1.2.3", timestamp=1000)
+    defaults.update(overrides)
+    return ClientEvent.make(**defaults)
+
+
+class TestEventInitiator:
+    def test_four_quadrants(self):
+        """Table 2: {client, server} x {user, app}."""
+        assert EventInitiator.CLIENT_USER.side == "client"
+        assert EventInitiator.CLIENT_USER.trigger == "user"
+        assert EventInitiator.CLIENT_APP.trigger == "app"
+        assert EventInitiator.SERVER_USER.side == "server"
+        assert EventInitiator.SERVER_APP.side == "server"
+        assert len(EventInitiator) == 4
+
+
+class TestClientEvent:
+    def test_make_with_all_table2_fields(self):
+        event = _event(details={"profile_id": "99"}, country="uk",
+                       logged_in=True)
+        assert event.event_name == NAME
+        assert event.user_id == 42
+        assert event.session_id == "cookie-1"
+        assert event.ip == "10.1.2.3"
+        assert event.timestamp == 1000
+        assert event.event_details == {"profile_id": "99"}
+        assert event.country == "uk"
+        assert event.logged_in is True
+
+    def test_make_validates_event_name(self):
+        with pytest.raises(InvalidEventNameError):
+            _event(name="badName:x")
+
+    def test_make_accepts_event_name_object(self):
+        from repro.core.names import EventName
+
+        event = _event(name=EventName.parse(NAME))
+        assert event.event_name == NAME
+
+    def test_name_property_parses(self):
+        assert _event().name.element == "avatar"
+
+    def test_client_property(self):
+        assert _event().client == "web"
+
+    def test_initiator_property(self):
+        event = _event(initiator=EventInitiator.SERVER_APP)
+        assert event.initiator is EventInitiator.SERVER_APP
+
+    def test_details_default_not_shared(self):
+        a, b = ClientEvent(), ClientEvent()
+        a.event_details["k"] = "v"
+        assert b.event_details == {}
+
+    def test_serialization_roundtrip(self):
+        event = _event(details={"k": "v"}, country="jp", logged_in=False)
+        decoded = ClientEvent.from_bytes(event.to_bytes())
+        assert decoded == event
+
+    def test_required_fields_enforced(self):
+        with pytest.raises(ValidationError):
+            ClientEvent(event_name=NAME).to_bytes()
+
+    def test_category_constant(self):
+        assert CLIENT_EVENTS_CATEGORY == "client_events"
+
+
+class TestSchemaEvolution:
+    def test_v1_reader_accepts_v2_messages(self):
+        """Old readers skip country/logged_in -- forward compatibility."""
+        event = _event(country="br", logged_in=True)
+        old = ClientEventV1.from_bytes(event.to_bytes())
+        assert old.event_name == NAME
+        assert old.user_id == 42
+
+    def test_v2_reader_accepts_v1_messages(self):
+        """New readers default the added fields -- backward compat."""
+        old = ClientEventV1(
+            event_initiator=0, event_name=NAME, user_id=7,
+            session_id="s", ip="1.1.1.1", timestamp=5,
+            event_details={},
+        )
+        new = ClientEvent.from_bytes(old.to_bytes())
+        assert new.user_id == 7
+        assert new.country is None
+        assert new.logged_in is None
+
+    def test_v1_has_exactly_table2_fields(self):
+        names = [spec.name for spec in ClientEventV1.FIELDS]
+        assert names == ["event_initiator", "event_name", "user_id",
+                         "session_id", "ip", "timestamp", "event_details"]
+
+
+class TestGroupByKeysEverPresent:
+    """§3.2: every client event has user id, session id, ip with the same
+    semantics, so a simple group-by reconstructs sessions."""
+
+    def test_identity_fields_required(self):
+        required = {spec.name for spec in ClientEvent.FIELDS if spec.required}
+        assert {"user_id", "session_id", "ip", "timestamp",
+                "event_name"} <= required

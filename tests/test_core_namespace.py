@@ -1,0 +1,112 @@
+"""View-hierarchy tests: name generation and reverse mapping (§3.2)."""
+
+import pytest
+
+from repro.core.names import EventName
+from repro.core.namespace import UnknownViewError, ViewHierarchy
+
+TREE = {
+    "home": {
+        "mentions": {
+            "stream": {
+                "avatar": ["profile_click", "impression"],
+                "tweet": ["click", "impression"],
+            },
+        },
+    },
+    "profile": {
+        "": {  # page without multiple sections: empty section (§3.2)
+            "header": {
+                "follow_button": ["click"],
+            },
+        },
+    },
+}
+
+
+@pytest.fixture
+def web():
+    return ViewHierarchy("web", TREE)
+
+
+class TestForwardMapping:
+    def test_generates_paper_example(self, web):
+        name = web.event_name(["home", "mentions", "stream", "avatar"],
+                              "profile_click")
+        assert str(name) == "web:home:mentions:stream:avatar:profile_click"
+
+    def test_empty_section_generates_empty_component(self, web):
+        name = web.event_name(["profile", "", "header", "follow_button"],
+                              "click")
+        assert str(name) == "web:profile::header:follow_button:click"
+
+    def test_short_path_pads_with_empty(self, web):
+        name = web.event_name(["home"], "view")
+        assert str(name) == "web:home::::view"
+
+    def test_unknown_path_component(self, web):
+        with pytest.raises(UnknownViewError):
+            web.event_name(["home", "nope"], "click")
+
+    def test_unknown_action_on_leaf(self, web):
+        with pytest.raises(UnknownViewError):
+            web.event_name(["home", "mentions", "stream", "avatar"],
+                           "teleport")
+
+    def test_all_event_names_sorted_and_complete(self, web):
+        names = web.all_event_names()
+        assert names == sorted(names)
+        assert len(names) == 5  # 2 avatar + 2 tweet + 1 follow_button
+        assert all(name.client == "web" for name in names)
+
+
+class TestReverseMapping:
+    def test_locate_returns_triggering_node(self, web):
+        name = EventName.parse("web:home:mentions:stream:avatar:impression")
+        node = web.locate(name)
+        assert node.name == "avatar"
+        assert node.kind == "element"
+
+    def test_locate_wrong_client(self, web):
+        name = EventName.parse("iphone:home:mentions:stream:avatar:impression")
+        with pytest.raises(UnknownViewError):
+            web.locate(name)
+
+    def test_locate_unknown_node(self, web):
+        name = EventName.parse("web:home:retweets:stream:avatar:impression")
+        with pytest.raises(UnknownViewError):
+            web.locate(name)
+
+    def test_locate_wrong_action(self, web):
+        name = EventName.parse("web:home:mentions:stream:avatar:retweet")
+        with pytest.raises(UnknownViewError):
+            web.locate(name)
+
+    def test_forward_then_reverse_is_identity(self, web):
+        for name in web.all_event_names():
+            node = web.locate(name)
+            nonempty = [c for c in (name.page, name.section, name.component,
+                                    name.element) if c]
+            assert node.name == (nonempty[-1] if nonempty else "web")
+
+
+class TestConstruction:
+    def test_too_deep_rejected(self):
+        too_deep = {"a": {"b": {"c": {"d": {"e": ["x"]}}}}}
+        with pytest.raises(ValueError):
+            ViewHierarchy("web", too_deep)
+
+    def test_invalid_spec_type(self):
+        with pytest.raises(TypeError):
+            ViewHierarchy("web", {"page": 42})
+
+    def test_same_tree_different_clients_same_suffixes(self):
+        """The consistent-design-language property: the same tree
+        instantiated for web and iphone yields identical names modulo
+        the client component (§3.2)."""
+        web = ViewHierarchy("web", TREE)
+        iphone = ViewHierarchy("iphone", TREE)
+        web_suffixes = {str(n).split(":", 1)[1] for n in web.all_event_names()}
+        iphone_suffixes = {str(n).split(":", 1)[1]
+                           for n in iphone.all_event_names()}
+        assert web_suffixes == iphone_suffixes

@@ -1,0 +1,167 @@
+"""Tests for details-schema inference (§4.3's open item) and metric
+time series."""
+
+import pytest
+
+from repro.analytics.timeseries import (
+    event_count_series,
+    rate_series,
+    sessions_with_event_series,
+)
+from repro.core.anonymize import Anonymizer
+from repro.core.builder import SessionSequenceBuilder
+from repro.core.details_schema import (
+    DetailsSchemaInferencer,
+    classify_value,
+)
+from repro.core.event import ClientEvent
+from repro.workload.simulate import WarehouseSimulation
+
+NAME = "web:search::results:result:click"
+
+
+def _event(details, name=NAME, user_id=1):
+    return ClientEvent.make(name, user_id=user_id, session_id="s",
+                            ip="1.1.1.1", timestamp=0, details=details)
+
+
+class TestClassifyValue:
+    @pytest.mark.parametrize("value,expected", [
+        ("42", "int"), ("-7", "int"), ("3.14", "float"),
+        ("https://twitter.com/x", "url"), ("en_US", "token"),
+        ("hello world!", "text"),
+    ])
+    def test_classification(self, value, expected):
+        assert classify_value(value) == expected
+
+
+class TestInference:
+    def test_obligatory_vs_optional(self):
+        inferencer = DetailsSchemaInferencer()
+        inferencer.observe(_event({"rank": "1", "lang": "en"}))
+        inferencer.observe(_event({"rank": "2"}))
+        schema = inferencer.schema_for(NAME)
+        assert schema.obligatory_keys() == ["rank"]
+        assert schema.optional_keys() == ["lang"]
+
+    def test_value_ranges(self):
+        inferencer = DetailsSchemaInferencer()
+        for rank in ("3", "17", "5"):
+            inferencer.observe(_event({"rank": rank}))
+        schema = inferencer.schema_for(NAME)
+        assert schema.keys["rank"].value_range() == (3.0, 17.0)
+        assert schema.keys["rank"].dominant_type == "int"
+
+    def test_categorical_detection(self):
+        inferencer = DetailsSchemaInferencer()
+        for i in range(40):
+            inferencer.observe(_event({"lang": "en" if i % 2 else "ja"}))
+        schema = inferencer.schema_for(NAME)
+        assert schema.keys["lang"].looks_categorical
+
+    def test_high_cardinality_not_categorical(self):
+        inferencer = DetailsSchemaInferencer()
+        for i in range(40):
+            inferencer.observe(_event({"target_id": str(i * 997)}))
+        assert not inferencer.schema_for(NAME).keys[
+            "target_id"].looks_categorical
+
+    def test_per_event_type_schemas(self):
+        inferencer = DetailsSchemaInferencer()
+        other = "web:home:timeline:stream:tweet:impression"
+        inferencer.observe(_event({"rank": "1"}))
+        inferencer.observe(_event({"position": "4"}, name=other))
+        assert len(inferencer) == 2
+        assert "rank" in inferencer.schema_for(NAME).keys
+        assert "rank" not in inferencer.schema_for(other).keys
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            DetailsSchemaInferencer().schema_for("web:x::::y")
+
+    def test_describe_lines(self):
+        inferencer = DetailsSchemaInferencer()
+        inferencer.observe(_event({"rank": "3",
+                                   "target_url": "https://t.co/x"}))
+        lines = inferencer.schema_for(NAME).describe()
+        joined = "\n".join(lines)
+        assert "rank: int" in joined
+        assert "obligatory" in joined
+        assert "target_url: url" in joined
+
+    def test_on_generated_workload(self, workload):
+        """The generator's details vocabulary is recovered: query events
+        have raw_query/result_count, click events have rank/target_url."""
+        inferencer = DetailsSchemaInferencer().observe_all(workload.events)
+        query_types = [n for n in inferencer.event_names()
+                       if n.endswith(":query")]
+        assert query_types
+        schema = inferencer.schema_for(query_types[0])
+        assert "raw_query" in schema.obligatory_keys()
+        assert "result_count" in schema.obligatory_keys()
+        assert schema.keys["result_count"].dominant_type == "int"
+
+
+class TestAnonymizedBuild:
+    def test_builder_applies_policy(self, workload, date):
+        from repro.hdfs.namenode import HDFS
+        from repro.workload.generator import load_warehouse_day
+
+        fs = HDFS()
+        load_warehouse_day(fs, workload)
+        anonymizer = Anonymizer(b"secret-salt")
+        builder = SessionSequenceBuilder(fs, anonymizer=anonymizer)
+        result = builder.run(*date)
+        records = list(builder.iter_sequences(*date))
+        raw_user_ids = {e.user_id for e in workload.events}
+        assert records
+        for record in records[:100]:
+            assert record.user_id not in raw_user_ids
+            assert record.ip.endswith(".0")
+        # pseudonyms are join-preserving: session counts unchanged
+        plain_builder = SessionSequenceBuilder(HDFS())
+        assert result.sessions_built == len(records)
+
+
+class TestTimeSeries:
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        sim = WarehouseSimulation(num_users=80, seed=6,
+                                  start=(2012, 5, 1),
+                                  users_growth_per_day=60)
+        sim.run_days(3)
+        return sim
+
+    def test_event_count_series_grows(self, simulation):
+        series = event_count_series(simulation, "*:impression")
+        assert len(series.points) == 3
+        assert series.change() > 0
+        assert all(v > 0 for v in series.values())
+
+    def test_sessions_with_event_bounded(self, simulation):
+        series = sessions_with_event_series(simulation, "*:query")
+        for date, value in series.points:
+            assert value <= simulation.days[date].summary.sessions
+
+    def test_rate_series_stable_band(self, simulation):
+        series = rate_series(simulation, "*:user_card:impression",
+                             "*:user_card:click", name="wtf_ctr")
+        # the behaviour model is fixed, so CTR stays in a narrow band
+        values = series.values()
+        assert all(0.0 <= v <= 0.5 for v in values)
+        assert series.mean() > 0.01
+
+    def test_custom_series(self, simulation):
+        from repro.analytics.timeseries import custom_series
+
+        series = custom_series(
+            simulation, "mean_session_len",
+            lambda records, d: sum(r.num_events for r in records)
+            / len(records))
+        assert all(v > 1 for v in series.values())
+
+    def test_change_undefined_for_single_day(self):
+        sim = WarehouseSimulation(num_users=30, seed=1)
+        sim.run_days(1)
+        series = event_count_series(sim, "*:impression")
+        assert series.change() is None

@@ -1,0 +1,204 @@
+"""Elephant Twin tests: index build, pushdown correctness, rebuild (§6)."""
+
+import pytest
+
+from repro.core.names import EventPattern
+from repro.elephanttwin.index import (
+    INDEX_FILE,
+    BlockIndex,
+    Indexer,
+    event_name_terms,
+)
+from repro.elephanttwin.inputformat import (
+    IndexedEventsLoader,
+    IndexedInputFormat,
+)
+from repro.hdfs.namenode import HDFS
+from repro.mapreduce.jobtracker import JobTracker
+from repro.pig.loaders import ClientEventsLoader
+from repro.pig.relation import PigServer
+
+INDEX_DIR = "/indexes/client_events"
+
+
+@pytest.fixture(scope="module")
+def indexed(warehouse, date):
+    loader = ClientEventsLoader(warehouse, *date)
+    indexer = Indexer(warehouse, event_name_terms)
+    index = indexer.build(loader.input_format(), INDEX_DIR)
+    return loader, index
+
+
+class TestBlockIndex:
+    def test_postings_cover_all_events(self, indexed, builder, date):
+        __, index = indexed
+        histogram = builder.load_histogram(*date)
+        assert set(index.terms()) == set(histogram)
+
+    def test_splits_for_unknown_term_empty(self, indexed):
+        __, index = indexed
+        assert index.splits_for(["web:ghost::::nothing"]) == set()
+
+    def test_splits_for_union(self, indexed):
+        __, index = indexed
+        terms = index.terms()[:2]
+        union = index.splits_for(terms)
+        assert union == (index.splits_for([terms[0]])
+                         | index.splits_for([terms[1]]))
+
+    def test_persistence_roundtrip(self, indexed, warehouse):
+        __, index = indexed
+        loaded = Indexer.load(warehouse, INDEX_DIR)
+        assert loaded.total_splits == index.total_splits
+        assert loaded.postings == index.postings
+
+    def test_index_resides_alongside_data(self, warehouse):
+        """Indexes live in their own files -- rebuilding never rewrites
+        the data (the anti-Trojan-layout argument)."""
+        assert warehouse.is_file(f"{INDEX_DIR}/{INDEX_FILE}")
+
+    def test_rebuild_from_scratch(self, warehouse, date):
+        loader = ClientEventsLoader(warehouse, *date)
+        indexer = Indexer(warehouse, event_name_terms)
+        data_bytes_before = warehouse.total_stored_bytes(
+            f"/logs/client_events")
+        rebuilt = indexer.rebuild(loader.input_format(), INDEX_DIR)
+        assert rebuilt.total_splits > 0
+        # data untouched by reindexing
+        assert warehouse.total_stored_bytes("/logs/client_events") == \
+            data_bytes_before
+
+
+class TestPushdown:
+    @pytest.mark.parametrize("pattern", [
+        "*:follow",
+        "web:signup:*",
+        "*:query",
+    ])
+    def test_identical_results_fewer_splits(self, indexed, pattern):
+        loader, index = indexed
+        matcher = EventPattern(pattern)
+        t_full, t_indexed = JobTracker(), JobTracker()
+
+        full = (PigServer(t_full).load(loader)
+                .filter(lambda e: matcher.matches(e.event_name)).dump())
+        iloader = IndexedEventsLoader(loader, index, pattern)
+        fast = (PigServer(t_indexed).load(iloader)
+                .filter(lambda e: matcher.matches(e.event_name)).dump())
+
+        assert sorted(e.to_bytes() for e in full) == \
+            sorted(e.to_bytes() for e in fast)
+        assert t_indexed.total_map_tasks() <= t_full.total_map_tasks()
+
+    def test_highly_selective_query_skips_most_splits(self, indexed):
+        """§6: Elephant Twin targets 'highly-selective queries'."""
+        loader, index = indexed
+        iloader = IndexedEventsLoader(loader, index, "*:signup:*:*:*:submit")
+        fmt = iloader.input_format()
+        selected = fmt.splits()
+        assert fmt.skipped_splits > 0
+        assert len(selected) + fmt.skipped_splits == index.total_splits
+
+    def test_no_matching_terms_reads_nothing(self, indexed):
+        loader, index = indexed
+        iloader = IndexedEventsLoader(loader, index, "blackberry:*")
+        assert iloader.matched_terms == []
+        fmt = iloader.input_format()
+        assert fmt.splits() == []
+        assert fmt.skipped_splits == index.total_splits
+
+    def test_matched_terms_expansion(self, indexed):
+        loader, index = indexed
+        iloader = IndexedEventsLoader(loader, index, "*:follow")
+        assert iloader.matched_terms
+        assert all(t.endswith(":follow") for t in iloader.matched_terms)
+
+    def test_index_never_fabricates_matches(self, indexed):
+        """Pruned plan without the exactness filter returns a superset --
+        whole splits, never fewer records than the true matches."""
+        loader, index = indexed
+        pattern = "*:follow"
+        matcher = EventPattern(pattern)
+        iloader = IndexedEventsLoader(loader, index, pattern)
+        unfiltered = PigServer().load(iloader).dump()
+        true_matches = [e for e in unfiltered
+                        if matcher.matches(e.event_name)]
+        exact = (PigServer().load(loader)
+                 .filter(lambda e: matcher.matches(e.event_name)).dump())
+        assert len(true_matches) == len(exact)
+        assert len(unfiltered) >= len(exact)
+
+
+class TestCustomExtractor:
+    def test_index_by_custom_terms(self):
+        from repro.core.event import ClientEvent
+        from repro.core.builder import write_day_events
+        from repro.mapreduce.inputformats import FileInputFormat
+        from repro.thriftlike.codegen import ThriftFileFormat
+
+        fs = HDFS(block_size=256)
+        events = [
+            ClientEvent.make("web:home:timeline:stream:tweet:impression",
+                             user_id=i % 3, session_id=f"s{i}",
+                             ip="1.1.1.1", timestamp=i)
+            for i in range(30)
+        ]
+        write_day_events(fs, events, 2012, 1, 1, events_per_file=10)
+        fmt = ThriftFileFormat(ClientEvent)
+        input_format = FileInputFormat(
+            fs, fs.glob_files("/logs/client_events"), fmt.decode)
+        indexer = Indexer(fs, lambda e: (f"user:{e.user_id}",))
+        index = indexer.build(input_format, "/indexes/by_user")
+        assert set(index.terms()) == {"user:0", "user:1", "user:2"}
+
+
+class TestIndexingSequences:
+    """Elephant Twin is generic (§6: "The infrastructure is general,
+    although client event logs represent one of the first applications")
+    -- here it indexes the session-sequence store by contained event."""
+
+    def test_index_sequence_store(self, warehouse, date, dictionary):
+        from repro.core.sequences import SessionSequenceRecord
+        from repro.pig.loaders import SessionSequencesLoader
+
+        loader = SessionSequencesLoader(warehouse, *date)
+
+        def contained_events(record: SessionSequenceRecord):
+            return set(record.event_names(dictionary))
+
+        indexer = Indexer(warehouse, contained_events)
+        index = indexer.build(loader.input_format(), "/indexes/sequences")
+        rare = [t for t in index.terms() if t.endswith(":submit")]
+        assert rare
+        wanted = index.splits_for(rare[:1])
+        assert 0 < len(wanted) <= index.total_splits
+
+    def test_pushdown_over_sequences(self, warehouse, date, dictionary):
+        import re
+
+        from repro.mapreduce.jobtracker import JobTracker
+        from repro.pig.loaders import SessionSequencesLoader
+        from repro.pig.relation import PigServer
+
+        loader = SessionSequencesLoader(warehouse, *date)
+        indexer = Indexer(
+            warehouse, lambda r: set(r.event_names(dictionary)))
+        index = indexer.build(loader.input_format(), "/indexes/sequences")
+        pattern = "web:signup:step_confirm:*"
+        terms = dictionary.expand_pattern(pattern)
+        regex = re.compile(dictionary.symbol_class(pattern))
+
+        full = (PigServer(JobTracker()).load(loader)
+                .filter(lambda r: bool(regex.search(r.session_sequence)))
+                .dump())
+        fmt = IndexedInputFormat(loader.input_format(), index, terms)
+
+        class _Loader:
+            def input_format(self):
+                return fmt
+
+        fast = (PigServer(JobTracker()).load(_Loader())
+                .filter(lambda r: bool(regex.search(r.session_sequence)))
+                .dump())
+        assert sorted(r.to_bytes() for r in full) == \
+            sorted(r.to_bytes() for r in fast)

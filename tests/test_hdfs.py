@@ -1,0 +1,232 @@
+"""HDFS tests: namespace, blocks, compression, atomic rename, outages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdfs.codecs import CodecError, available_codecs, compress, decompress
+from repro.hdfs.namenode import (
+    FileExistsError_,
+    FileNotFound,
+    HDFS,
+    HDFSError,
+    HDFSUnavailableError,
+    normalize,
+)
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", available_codecs())
+    def test_roundtrip(self, codec):
+        data = b"hello world " * 100
+        assert decompress(codec, compress(codec, data)) == data
+
+    def test_zlib_compresses_repetitive_data(self):
+        data = b"abc" * 1000
+        assert len(compress("zlib", data)) < len(data) / 5
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError):
+            compress("lzma9000", b"x")
+        with pytest.raises(CodecError):
+            decompress("lzma9000", b"x")
+
+
+class TestNormalize:
+    def test_adds_leading_slash(self):
+        assert normalize("a/b") == "/a/b"
+
+    def test_collapses_dots(self):
+        assert normalize("/a/./b/../c") == "/a/c"
+
+
+class TestNamespace:
+    def test_mkdirs_creates_parents(self):
+        fs = HDFS()
+        fs.mkdirs("/a/b/c")
+        assert fs.is_dir("/a")
+        assert fs.is_dir("/a/b")
+        assert fs.is_dir("/a/b/c")
+
+    def test_create_makes_parent_dirs(self):
+        fs = HDFS()
+        fs.create("/x/y/file", b"data")
+        assert fs.is_dir("/x/y")
+        assert fs.is_file("/x/y/file")
+
+    def test_listdir(self):
+        fs = HDFS()
+        fs.create("/d/a", b"1")
+        fs.create("/d/b", b"2")
+        fs.mkdirs("/d/sub")
+        assert fs.listdir("/d") == ["a", "b", "sub"]
+
+    def test_listdir_missing_raises(self):
+        with pytest.raises(FileNotFound):
+            HDFS().listdir("/nope")
+
+    def test_glob_files_sorted(self):
+        fs = HDFS()
+        for name in ("c", "a", "b"):
+            fs.create(f"/g/{name}", b"x")
+        assert fs.glob_files("/g") == ["/g/a", "/g/b", "/g/c"]
+
+    def test_create_no_overwrite(self):
+        fs = HDFS()
+        fs.create("/f", b"1")
+        with pytest.raises(FileExistsError_):
+            fs.create("/f", b"2")
+        fs.create("/f", b"2", overwrite=True)
+        assert fs.open_bytes("/f") == b"2"
+
+    def test_create_over_directory_fails(self):
+        fs = HDFS()
+        fs.mkdirs("/d")
+        with pytest.raises(FileExistsError_):
+            fs.create("/d", b"x")
+
+    def test_status_file_and_dir(self):
+        fs = HDFS(block_size=4)
+        fs.create("/f", b"123456789")
+        status = fs.status("/f")
+        assert not status.is_dir
+        assert status.length == 9
+        assert status.block_count == 3
+        assert fs.status("/").is_dir
+
+    def test_delete_file(self):
+        fs = HDFS()
+        fs.create("/f", b"x")
+        assert fs.delete("/f")
+        assert not fs.exists("/f")
+        assert not fs.delete("/f")
+
+    def test_delete_nonempty_dir_requires_recursive(self):
+        fs = HDFS()
+        fs.create("/d/f", b"x")
+        with pytest.raises(HDFSError):
+            fs.delete("/d")
+        fs.delete("/d", recursive=True)
+        assert not fs.exists("/d/f")
+        assert not fs.exists("/d")
+
+
+class TestCompressionIO:
+    def test_transparent_decompression(self):
+        fs = HDFS()
+        data = b"payload " * 500
+        fs.create("/c", data, codec="zlib")
+        assert fs.open_bytes("/c") == data
+        assert fs.stored_bytes("/c") < len(data)
+        assert fs.codec_of("/c") == "zlib"
+
+    def test_append_uncompressed_only(self):
+        fs = HDFS()
+        fs.create("/plain", b"a")
+        fs.append("/plain", b"b")
+        assert fs.open_bytes("/plain") == b"ab"
+        fs.create("/comp", b"a" * 100, codec="zlib")
+        with pytest.raises(HDFSError):
+            fs.append("/comp", b"b")
+
+    def test_append_creates_missing_file(self):
+        fs = HDFS()
+        fs.append("/new", b"x")
+        assert fs.open_bytes("/new") == b"x"
+
+
+class TestBlocks:
+    def test_block_count_drives_splits(self):
+        fs = HDFS(block_size=10)
+        fs.create("/f", b"x" * 35)
+        blocks = fs.blocks("/f")
+        assert len(blocks) == 4
+        assert b"".join(blocks) == b"x" * 35
+
+    def test_empty_file_has_one_block(self):
+        fs = HDFS()
+        fs.create("/f", b"")
+        assert fs.status("/f").block_count == 1
+
+    def test_total_accounting(self):
+        fs = HDFS(block_size=10)
+        fs.create("/d/a", b"x" * 25)
+        fs.create("/d/b", b"y" * 5)
+        assert fs.total_stored_bytes("/d") == 30
+        assert fs.total_block_count("/d") == 4
+        assert fs.file_count("/d") == 2
+
+
+class TestRename:
+    def test_rename_file(self):
+        fs = HDFS()
+        fs.create("/a/f", b"data")
+        fs.rename("/a/f", "/b/g")
+        assert fs.open_bytes("/b/g") == b"data"
+        assert not fs.exists("/a/f")
+
+    def test_rename_directory_tree_is_atomic_view(self):
+        fs = HDFS()
+        fs.create("/incoming/h/f1", b"1")
+        fs.create("/incoming/h/f2", b"2")
+        fs.rename("/incoming/h", "/logs/h")
+        assert fs.glob_files("/logs/h") == ["/logs/h/f1", "/logs/h/f2"]
+        assert not fs.exists("/incoming/h")
+
+    def test_rename_to_existing_fails(self):
+        fs = HDFS()
+        fs.create("/a", b"1")
+        fs.create("/b", b"2")
+        with pytest.raises(FileExistsError_):
+            fs.rename("/a", "/b")
+
+    def test_rename_missing_source(self):
+        with pytest.raises(FileNotFound):
+            HDFS().rename("/none", "/dst")
+
+
+class TestOutage:
+    def test_writes_fail_during_outage(self):
+        fs = HDFS()
+        fs.set_available(False)
+        with pytest.raises(HDFSUnavailableError):
+            fs.create("/f", b"x")
+        with pytest.raises(HDFSUnavailableError):
+            fs.mkdirs("/d")
+        fs.set_available(True)
+        fs.create("/f", b"x")
+
+    def test_reads_still_work_during_outage(self):
+        # Our outage models the write path (what aggregators hit).
+        fs = HDFS()
+        fs.create("/f", b"x")
+        fs.set_available(False)
+        assert fs.open_bytes("/f") == b"x"
+
+
+class TestProperties:
+    @given(data=st.binary(max_size=2000),
+           block_size=st.integers(min_value=1, max_value=64))
+    def test_blocks_reassemble(self, data, block_size):
+        fs = HDFS(block_size=block_size)
+        fs.create("/f", data)
+        assert b"".join(fs.blocks("/f")) == data
+
+    @given(data=st.binary(max_size=2000))
+    def test_compressed_roundtrip(self, data):
+        fs = HDFS()
+        fs.create("/f", data, codec="zlib")
+        assert fs.open_bytes("/f") == data
+
+
+class TestRenameGuards:
+    def test_rename_into_self_rejected(self):
+        fs = HDFS()
+        fs.create("/a/f", b"x")
+        with pytest.raises(HDFSError):
+            fs.rename("/a", "/a/b")
+
+    def test_rename_to_sibling_with_shared_prefix_ok(self):
+        fs = HDFS()
+        fs.create("/a/f", b"x")
+        fs.rename("/a", "/ab")  # '/ab' is not inside '/a'
+        assert fs.open_bytes("/ab/f") == b"x"

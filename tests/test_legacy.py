@@ -1,0 +1,254 @@
+"""Legacy-logging tests: formats, scraping, join-based reconstruction."""
+
+import pytest
+
+from repro.clock import MILLIS_PER_MINUTE
+from repro.core.event import ClientEvent
+from repro.core.sessionizer import Sessionizer
+from repro.legacy.formats import (
+    ApiThriftLogger,
+    MobileTextLogger,
+    ParseError,
+    SearchTsvLogger,
+    WebJsonLogger,
+    route_logger,
+)
+from repro.legacy.joiner import (
+    LegacySessionReconstructor,
+    pairwise_f1,
+)
+from repro.legacy.scraper import scrape_json
+
+
+def _event(name="web:home:timeline:stream:tweet:impression", user_id=7,
+           session_id="cookie", timestamp=1_000_000,
+           details=None):
+    return ClientEvent.make(name, user_id=user_id, session_id=session_id,
+                            ip="10.0.0.1", timestamp=timestamp,
+                            details=details or {})
+
+
+def _loggers(seed=0):
+    return {
+        "web_frontend": WebJsonLogger(),
+        "search_events": SearchTsvLogger(),
+        "mobile_client": MobileTextLogger(seed=seed),
+        "api_events": ApiThriftLogger(),
+    }
+
+
+class TestWebJsonLogger:
+    def test_roundtrip(self):
+        logger = WebJsonLogger()
+        entry = logger.encode(_event())
+        assert entry.category == "web_frontend"
+        record = logger.parse(entry.message)
+        assert record.user_id == 7
+        assert record.timestamp_ms == 1_000_000
+        assert record.label == "impression"
+
+    def test_nested_structure(self):
+        import json
+
+        logger = WebJsonLogger()
+        payload = json.loads(logger.encode(_event()).message)
+        assert "context" in payload
+        assert "widget" in payload["context"]  # nested several layers deep
+
+    def test_camel_case_field_names(self):
+        import json
+
+        payload = json.loads(WebJsonLogger().encode(
+            _event(name="web:home:mentions:stream:avatar:profile_click")
+        ).message)
+        assert payload["eventType"] == "profileClick"  # the dreaded camel
+        assert "userId" in payload
+
+    def test_bad_message_raises(self):
+        with pytest.raises(ParseError):
+            WebJsonLogger().parse(b"not json at all")
+        with pytest.raises(ParseError):
+            WebJsonLogger().parse(b'{"missing": "fields"}')
+
+
+class TestSearchTsvLogger:
+    def test_roundtrip(self):
+        logger = SearchTsvLogger()
+        event = _event(name="web:search::search_box:input:query",
+                       details={"raw_query": "breaking news"})
+        record = logger.parse(logger.encode(event).message)
+        assert record.user_id == 7
+        assert record.timestamp_ms == 1_000_000
+
+    def test_embedded_tab_escaped(self):
+        logger = SearchTsvLogger()
+        event = _event(name="web:search::search_box:input:query",
+                       details={"raw_query": "tab\there"})
+        record = logger.parse(logger.encode(event).message)
+        assert record.user_id == 7  # field count survived the tab
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ParseError):
+            SearchTsvLogger().parse(b"too\tfew")
+
+    def test_bad_timestamp_raises(self):
+        with pytest.raises(ParseError):
+            SearchTsvLogger().parse(b"not-a-time\t7\tq.click\tx")
+
+
+class TestMobileTextLogger:
+    def test_roundtrip(self):
+        logger = MobileTextLogger(drop_user_id_rate=0.0)
+        record = logger.parse(logger.encode(
+            _event(name="iphone:home:timeline:stream:tweet:click")).message)
+        assert record.user_id == 7
+        assert record.label == "click"
+
+    def test_user_id_sometimes_missing(self):
+        logger = MobileTextLogger(drop_user_id_rate=1.0)
+        record = logger.parse(logger.encode(_event()).message)
+        assert record.user_id is None
+
+    def test_bad_message_raises(self):
+        with pytest.raises(ParseError):
+            MobileTextLogger().parse(b"gibberish without delimiters")
+
+
+class TestApiThriftLogger:
+    def test_request_shape(self):
+        logger = ApiThriftLogger()
+        event = _event(name="web:search::search_box:input:query")
+        entry = logger.encode(event)
+        assert entry.message[:1] == b"R"
+        record = logger.parse(entry.message)
+        assert record.user_id == 7
+        assert "query" in record.label
+
+    def test_error_shape(self):
+        logger = ApiThriftLogger()
+        event = _event(name="web:home:suggestions:who_to_follow:user_card:follow")
+        entry = logger.encode(event)
+        assert entry.message[:1] == b"E"
+        record = logger.parse(entry.message)
+        assert record.label == "follow"
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(ParseError):
+            ApiThriftLogger().parse(b"Zjunk")
+        with pytest.raises(ParseError):
+            ApiThriftLogger().parse(b"")
+
+
+class TestRouting:
+    def test_silo_routing(self):
+        loggers = _loggers()
+        assert route_logger(
+            _event(name="web:search::results:result:click"),
+            loggers).category == "search_events"
+        assert route_logger(
+            _event(name="iphone:home:timeline:stream:tweet:impression"),
+            loggers).category == "mobile_client"
+        assert route_logger(
+            _event(name="web:tweet_detail::detail:tweet:reply"),
+            loggers).category == "api_events"
+        assert route_logger(
+            _event(name="web:home:timeline:stream:tweet:impression"),
+            loggers).category == "web_frontend"
+
+
+class TestScraper:
+    def test_induces_schema(self):
+        logger = WebJsonLogger()
+        messages = [logger.encode(_event(user_id=i)).message
+                    for i in range(50)]
+        report = scrape_json(messages)
+        assert report.messages_seen == 50
+        assert report.parse_failures == 0
+        assert "userId" in report.obligatory_keys()
+        assert "timestampSecs" in report.obligatory_keys()
+
+    def test_value_ranges(self):
+        logger = WebJsonLogger()
+        messages = [logger.encode(_event(user_id=i)).message
+                    for i in (3, 9, 5)]
+        report = scrape_json(messages)
+        assert report.value_range("userId") == (3, 9)
+
+    def test_optional_keys_detected(self):
+        messages = [b'{"always": 1, "sometimes": 2}', b'{"always": 1}']
+        report = scrape_json(messages)
+        assert report.obligatory_keys() == ["always"]
+        assert report.optional_keys() == ["sometimes"]
+
+    def test_parse_failures_counted(self):
+        report = scrape_json([b"{}", b"NOT JSON"])
+        assert report.parse_failures == 1
+
+    def test_type_histogram(self):
+        report = scrape_json([b'{"k": 1}', b'{"k": "s"}'])
+        assert report.keys["k"].type_counts == {"int": 1, "str": 1}
+
+
+class TestReconstruction:
+    def test_merges_concurrent_sessions(self):
+        """Without session ids, two concurrent sessions of one user merge:
+        the defining accuracy loss of the legacy pipeline."""
+        loggers = _loggers()
+        events = []
+        for i in range(4):  # two interleaved sessions of user 7
+            events.append(_event(session_id="desktop",
+                                 timestamp=i * MILLIS_PER_MINUTE))
+            events.append(_event(session_id="laptop",
+                                 timestamp=i * MILLIS_PER_MINUTE + 5000))
+        entries = [route_logger(e, loggers).encode(e) for e in events]
+        sessions, stats = LegacySessionReconstructor(loggers).reconstruct(
+            entries)
+        assert stats.sessions == 1  # merged!
+        truth = Sessionizer().sessionize(events)
+        assert len(truth) == 2  # unified keeps them apart
+
+    def test_pairwise_f1_below_one_for_merged(self):
+        truth = [[(1, 0), (1, 1)], [(1, 10), (1, 11)]]
+        merged = [[(1, 0), (1, 1), (1, 10), (1, 11)]]
+        assert pairwise_f1(truth, merged) < 1.0
+        assert pairwise_f1(truth, truth) == 1.0
+
+    def test_pairwise_f1_empty(self):
+        assert pairwise_f1([], []) == 1.0
+        assert pairwise_f1([[(1, 0), (1, 1)]], [[(2, 5), (2, 6)]]) == 0.0
+
+    def test_unknown_category_counted_as_failure(self):
+        from repro.scribe.message import LogEntry
+
+        loggers = _loggers()
+        sessions, stats = LegacySessionReconstructor(loggers).reconstruct(
+            [LogEntry("mystery_category", b"???")])
+        assert stats.parse_failures == 1
+        assert stats.sessions == 0
+
+    def test_missing_user_ids_dropped(self):
+        loggers = _loggers()
+        loggers["mobile_client"] = MobileTextLogger(drop_user_id_rate=1.0)
+        event = _event(name="iphone:home:timeline:stream:tweet:click")
+        entries = [route_logger(event, loggers).encode(event)]
+        sessions, stats = LegacySessionReconstructor(loggers).reconstruct(
+            entries)
+        assert stats.missing_user_id == 1
+        assert stats.sessions == 0
+
+    def test_unified_beats_legacy_on_workload(self, workload):
+        """The headline §3 comparison: pairwise F1 of legacy join-based
+        reconstruction is strictly below the unified group-by's 1.0."""
+        loggers = _loggers(seed=9)
+        entries = [route_logger(e, loggers).encode(e)
+                   for e in workload.events]
+        legacy_sessions, stats = LegacySessionReconstructor(
+            loggers).reconstruct(entries)
+        truth = Sessionizer().sessionize(workload.events)
+        truth_clusters = [[(e.user_id, e.timestamp) for e in s.events]
+                          for s in truth]
+        legacy_clusters = [[(r.user_id, r.timestamp_ms) for r in s.records]
+                           for s in legacy_sessions]
+        score = pairwise_f1(truth_clusters, legacy_clusters)
+        assert score < 0.95
+        assert stats.parsed <= stats.messages

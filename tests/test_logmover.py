@@ -1,0 +1,251 @@
+"""Log mover tests: barrier, merging, sanity checks, atomic slide."""
+
+import pytest
+
+from repro.hdfs.layout import LOGS_ROOT, LogHour, staging_path
+from repro.hdfs.namenode import HDFS, HDFSError
+from repro.logmover.checks import (
+    SanityCheckError,
+    check_max_message_size,
+    check_no_empty_messages,
+    check_nonempty,
+)
+from repro.logmover.mover import IncompleteHourError, LogMover
+from repro.scribe.aggregator import decode_messages, encode_messages
+
+HOUR = LogHour("client_events", 2012, 3, 7, 10)
+
+
+def _stage(staging: HDFS, datacenter: str, part: str,
+           messages, codec="zlib") -> None:
+    path = f"{staging_path(datacenter, HOUR)}/{part}"
+    staging.create(path, encode_messages(messages), codec=codec)
+
+
+def _warehouse_messages(warehouse: HDFS):
+    out = []
+    for path in warehouse.glob_files(HOUR.path(root=LOGS_ROOT)):
+        out.extend(decode_messages(warehouse.open_bytes(path)))
+    return out
+
+
+class TestChecks:
+    def test_nonempty(self):
+        with pytest.raises(SanityCheckError):
+            check_nonempty("/p", [])
+        check_nonempty("/p", [b"x"])
+
+    def test_no_empty_messages(self):
+        with pytest.raises(SanityCheckError):
+            check_no_empty_messages("/p", [b"x", b""])
+        check_no_empty_messages("/p", [b"x"])
+
+    def test_max_message_size(self):
+        check = check_max_message_size(4)
+        check("/p", [b"1234"])
+        with pytest.raises(SanityCheckError):
+            check("/p", [b"12345"])
+
+    def test_error_carries_path_and_reason(self):
+        try:
+            check_nonempty("/some/file", [])
+        except SanityCheckError as exc:
+            assert exc.path == "/some/file"
+            assert "empty" in exc.reason
+
+
+class TestBarrier:
+    def test_not_ready_until_all_datacenters_staged(self):
+        s1, s2, warehouse = HDFS(), HDFS(), HDFS()
+        mover = LogMover({"dc1": s1, "dc2": s2}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        assert not mover.hour_ready(HOUR)
+        _stage(s2, "dc2", "p1", [b"b"])
+        assert mover.hour_ready(HOUR)
+
+    def test_move_incomplete_raises(self):
+        s1, s2, warehouse = HDFS(), HDFS(), HDFS()
+        mover = LogMover({"dc1": s1, "dc2": s2}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        with pytest.raises(IncompleteHourError):
+            mover.move_hour(HOUR)
+
+    def test_producers_declaration_narrows_barrier(self):
+        s1, s2, warehouse = HDFS(), HDFS(), HDFS()
+        mover = LogMover({"dc1": s1, "dc2": s2}, warehouse,
+                         producers={"client_events": ["dc1"]})
+        _stage(s1, "dc1", "p1", [b"a"])
+        assert mover.hour_ready(HOUR)
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 1
+
+    def test_force_move_without_barrier(self):
+        s1, s2, warehouse = HDFS(), HDFS(), HDFS()
+        mover = LogMover({"dc1": s1, "dc2": s2}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        result = mover.move_hour(HOUR, require_complete=False)
+        assert result.messages_moved == 1
+
+
+class TestMove:
+    def test_messages_conserved_across_datacenters(self):
+        s1, s2, warehouse = HDFS(), HDFS(), HDFS()
+        mover = LogMover({"dc1": s1, "dc2": s2}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a1", b"a2"])
+        _stage(s1, "dc1", "p2", [b"a3"])
+        _stage(s2, "dc2", "p1", [b"b1", b"b2"])
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 5
+        assert sorted(_warehouse_messages(warehouse)) == [
+            b"a1", b"a2", b"a3", b"b1", b"b2"]
+
+    def test_small_files_merged(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse,
+                         target_file_bytes=10 ** 6)
+        for i in range(20):
+            _stage(s1, "dc1", f"p{i:02d}", [b"m%d" % i])
+        result = mover.move_hour(HOUR)
+        assert result.input_files == 20
+        assert result.output_files == 1
+        assert result.merge_ratio == 20.0
+
+    def test_target_file_bytes_splits_output(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse, target_file_bytes=100)
+        _stage(s1, "dc1", "p1", [b"x" * 60 for __ in range(10)])
+        result = mover.move_hour(HOUR)
+        assert result.output_files > 1
+
+    def test_staged_files_deleted_after_move(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        mover.move_hour(HOUR)
+        assert s1.glob_files(staging_path("dc1", HOUR)) == []
+
+    def test_keep_staged_files_when_asked(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        mover.move_hour(HOUR, delete_staged=False)
+        assert len(s1.glob_files(staging_path("dc1", HOUR))) == 1
+
+    def test_quarantine_bad_file_keeps_good_ones(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "good", [b"fine"])
+        _stage(s1, "dc1", "bad", [b"ok", b""])  # empty message inside
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 1
+        assert len(result.quarantined) == 1
+        assert "bad" in result.quarantined[0][0]
+
+    def test_atomic_slide_replaces_existing_hour(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [b"v1"])
+        mover.move_hour(HOUR)
+        _stage(s1, "dc1", "p2", [b"v2"])
+        mover.move_hour(HOUR)
+        assert _warehouse_messages(warehouse) == [b"v2"]
+
+    def test_no_incoming_leftovers(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        mover.move_hour(HOUR)
+        assert warehouse.glob_files("/_incoming") == []
+
+    def test_move_ready_hours_skips_unready(self):
+        s1, s2, warehouse = HDFS(), HDFS(), HDFS()
+        mover = LogMover({"dc1": s1, "dc2": s2}, warehouse)
+        other = LogHour("client_events", 2012, 3, 7, 11)
+        _stage(s1, "dc1", "p1", [b"a"])
+        _stage(s2, "dc2", "p1", [b"b"])
+        # 'other' hour staged only in dc1
+        s1.create(f"{staging_path('dc1', other)}/p1",
+                  encode_messages([b"c"]), codec="zlib")
+        results = mover.move_ready_hours([HOUR, other])
+        assert len(results) == 1
+        assert results[0].hour == HOUR
+
+    def test_moves_audit_trail(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [b"a"])
+        mover.move_hour(HOUR)
+        assert len(mover.moves) == 1
+        assert mover.moves[0].messages_moved == 1
+
+    def test_requires_a_staging_cluster(self):
+        with pytest.raises(ValueError):
+            LogMover({}, HDFS())
+
+
+class _FlakyHDFS(HDFS):
+    """Fails the Nth create call: injects a crash mid-merge."""
+
+    def __init__(self, fail_on_create: int, **kwargs):
+        super().__init__(**kwargs)
+        self._creates = 0
+        self._fail_on = fail_on_create
+
+    def create(self, path, data, codec="none", overwrite=False):
+        self._creates += 1
+        if self._creates == self._fail_on:
+            raise HDFSError("simulated crash during merge")
+        return super().create(path, data, codec=codec, overwrite=overwrite)
+
+
+class TestAtomicSlideUnderFailure:
+    def test_failure_mid_merge_leaves_no_partial_hour(self):
+        """The atomic slide guarantee: if the mover dies while writing
+        merged files, readers of /logs never see a partial hour."""
+        staging = HDFS()
+        mover_target = _FlakyHDFS(fail_on_create=2)
+        mover = LogMover({"dc1": staging}, mover_target,
+                         target_file_bytes=50)  # forces several outputs
+        for i in range(5):
+            _stage(staging, "dc1", f"p{i}", [b"x" * 40])
+        with pytest.raises(HDFSError):
+            mover.move_hour(HOUR)
+        # nothing published, staged data intact for the retry
+        assert not mover_target.exists(HOUR.path(root=LOGS_ROOT))
+        assert len(staging.glob_files(staging_path("dc1", HOUR))) == 5
+
+    def test_retry_after_failure_succeeds(self):
+        staging = HDFS()
+        mover_target = _FlakyHDFS(fail_on_create=2)
+        mover = LogMover({"dc1": staging}, mover_target,
+                         target_file_bytes=50)
+        for i in range(5):
+            _stage(staging, "dc1", f"p{i}", [b"x" * 40])
+        with pytest.raises(HDFSError):
+            mover.move_hour(HOUR)
+        # the leftover /_incoming debris from the failed attempt must not
+        # block the retry
+        from repro.logmover.mover import INCOMING_ROOT
+
+        if mover_target.exists(HOUR.path(root=INCOMING_ROOT)):
+            mover_target.delete(HOUR.path(root=INCOMING_ROOT),
+                                recursive=True)
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 5
+        assert mover_target.exists(HOUR.path(root=LOGS_ROOT))
+
+
+class TestMultipleCategories:
+    def test_categories_move_independently(self):
+        staging, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": staging}, warehouse)
+        other_hour = HOUR.with_category("ad_impressions")
+        _stage(staging, "dc1", "p1", [b"ce-1"])
+        staging.create(f"{staging_path('dc1', other_hour)}/p1",
+                       encode_messages([b"ad-1", b"ad-2"]), codec="zlib")
+        first = mover.move_hour(HOUR)
+        second = mover.move_hour(other_hour)
+        assert first.messages_moved == 1
+        assert second.messages_moved == 2
+        assert warehouse.glob_files("/logs/client_events")
+        assert warehouse.glob_files("/logs/ad_impressions")

@@ -1,0 +1,120 @@
+"""Grammar induction (Re-Pair) tests (§6 ongoing work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nlp.grammar import (
+    Grammar,
+    compression_ratio,
+    induce_grammar,
+    is_nonterminal,
+)
+
+
+class TestInduction:
+    def test_repeated_phrase_becomes_rule(self):
+        grammar = induce_grammar([list("abcabcabc")])
+        units = grammar.cohesive_units(min_length=3, top=1)
+        assert units
+        assert units[0][0] == ["a", "b", "c"]
+
+    def test_expansion_is_lossless(self):
+        corpus = [list("abcabcxy"), list("ababab"), list("zq")]
+        grammar = induce_grammar(corpus)
+        for original, compressed in zip(corpus, grammar.sequences):
+            assert grammar.expand(compressed) == original
+
+    def test_no_repeats_no_rules(self):
+        grammar = induce_grammar([list("abcdef")])
+        assert grammar.num_rules == 0
+        assert grammar.sequences == [list("abcdef")]
+
+    def test_pairs_not_counted_across_sequences(self):
+        # "ab" appears once per sequence: boundary must not join them
+        grammar = induce_grammar([["x", "a"], ["b", "y"]])
+        assert grammar.num_rules == 0
+
+    def test_max_rules_bound(self):
+        grammar = induce_grammar([list("abababcdcdcd")], max_rules=1)
+        assert grammar.num_rules == 1
+
+    def test_min_pair_count(self):
+        grammar = induce_grammar([list("abab")], min_pair_count=3)
+        assert grammar.num_rules == 0
+        with pytest.raises(ValueError):
+            induce_grammar([list("ab")], min_pair_count=1)
+
+    def test_deterministic(self):
+        corpus = [list("abcabcab"), list("bcabca")]
+        a = induce_grammar(corpus)
+        b = induce_grammar(corpus)
+        assert a.rules == b.rules
+        assert a.sequences == b.sequences
+
+    def test_nonterminals_distinct_from_event_names(self):
+        grammar = induce_grammar([["w:a::::x", "w:b::::y"] * 4])
+        for nonterminal in grammar.rules:
+            assert is_nonterminal(nonterminal)
+            assert not is_nonterminal("w:a::::x")
+
+    def test_empty_corpus(self):
+        grammar = induce_grammar([])
+        assert grammar.num_rules == 0
+        assert compression_ratio(grammar, []) == 1.0
+
+
+class TestMeasures:
+    def test_grammar_size_counts_rules(self):
+        grammar = induce_grammar([list("abab")])
+        # sequence [R0, R0] (2) + one rule body (2) = 4
+        assert grammar.grammar_size() == 4
+
+    def test_compression_ratio_above_one_for_repetitive(self):
+        corpus = [list("abcabcabcabc")] * 5
+        grammar = induce_grammar(corpus)
+        assert compression_ratio(grammar, corpus) > 1.5
+
+    def test_compression_ratio_one_for_incompressible(self):
+        corpus = [list("abcdefgh")]
+        grammar = induce_grammar(corpus)
+        assert compression_ratio(grammar, corpus) == 1.0
+
+    def test_rule_usage(self):
+        grammar = induce_grammar([list("ababab")])
+        usage = grammar.rule_usage()
+        assert sum(usage.values()) >= 3
+
+    def test_cohesive_units_on_sessions(self, dictionary, sequence_records):
+        """The workload's search phrase (query -> results impressions)
+        emerges as a cohesive unit."""
+        sequences = [r.event_names(dictionary) for r in sequence_records
+                     if r.num_events >= 3]
+        grammar = induce_grammar(sequences, max_rules=300)
+        assert grammar.num_rules > 10
+        units = grammar.cohesive_units(min_length=2, top=30)
+        assert any(
+            unit[0].endswith(":query")
+            and unit[1].endswith(":impression")
+            for unit, __ in [(u, c) for u, c in units] if len(unit) >= 2
+        )
+        # expansion losslessness on real data
+        for original, compressed in list(zip(sequences,
+                                             grammar.sequences))[:20]:
+            assert grammar.expand(compressed) == original
+
+
+class TestProperties:
+    @given(st.lists(st.lists(st.sampled_from("abcd"), max_size=30),
+                    max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_lossless_property(self, corpus):
+        grammar = induce_grammar(corpus)
+        for original, compressed in zip(corpus, grammar.sequences):
+            assert grammar.expand(compressed) == original
+
+    @given(st.lists(st.lists(st.sampled_from("ab"), min_size=2,
+                             max_size=20), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_grammar_never_larger(self, corpus):
+        grammar = induce_grammar(corpus)
+        assert grammar.grammar_size() <= sum(len(s) for s in corpus)

@@ -1,0 +1,350 @@
+"""Oink tests: scheduling, dependencies, gates, retries, traces, rollups."""
+
+import pytest
+
+from repro.clock import LogicalClock, MILLIS_PER_DAY, MILLIS_PER_HOUR
+from repro.oink.scheduler import (
+    CycleError,
+    Oink,
+    OinkError,
+    UnknownDependencyError,
+)
+from repro.oink.rollups import ROLLUP_LEVELS, RollupJob, rollup_keys
+from repro.oink.traces import ExecutionTrace, TraceLog
+
+
+class TestScheduling:
+    def test_hourly_job_runs_once_per_elapsed_hour(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        runs = []
+        oink.hourly("tick", runs.append)
+        oink.run_until(3 * MILLIS_PER_HOUR)
+        assert runs == [0, MILLIS_PER_HOUR, 2 * MILLIS_PER_HOUR]
+
+    def test_period_not_due_until_window_elapsed(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        runs = []
+        oink.hourly("tick", runs.append)
+        clock.advance(MILLIS_PER_HOUR - 1)
+        oink.run_pending()
+        assert runs == []
+        clock.advance(1)
+        oink.run_pending()
+        assert runs == [0]
+
+    def test_daily_job(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        runs = []
+        oink.daily("nightly", runs.append)
+        oink.run_until(2 * MILLIS_PER_DAY, step_ms=MILLIS_PER_DAY)
+        assert runs == [0, MILLIS_PER_DAY]
+
+    def test_duplicate_name_rejected(self):
+        oink = Oink(LogicalClock())
+        oink.hourly("a", lambda p: None)
+        with pytest.raises(OinkError):
+            oink.hourly("a", lambda p: None)
+
+    def test_nonpositive_interval_rejected(self):
+        oink = Oink(LogicalClock())
+        with pytest.raises(OinkError):
+            oink.schedule("bad", lambda p: None, 0)
+
+
+class TestDependencies:
+    def test_b_runs_after_a(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        order = []
+        oink.hourly("a", lambda p: order.append(("a", p)))
+        oink.hourly("b", lambda p: order.append(("b", p)),
+                    depends_on=["a"])
+        oink.run_until(MILLIS_PER_HOUR)
+        assert order == [("a", 0), ("b", 0)]
+
+    def test_failed_dependency_blocks_dependent(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        ran = []
+
+        def failing(period):
+            raise RuntimeError("boom")
+
+        oink.hourly("a", failing)
+        oink.hourly("b", ran.append, depends_on=["a"])
+        oink.run_until(MILLIS_PER_HOUR)
+        assert ran == []
+        assert oink.traces.failures("a")
+
+    def test_unknown_dependency(self):
+        oink = Oink(LogicalClock())
+        with pytest.raises(UnknownDependencyError):
+            oink.hourly("b", lambda p: None, depends_on=["ghost"])
+
+    def test_hourly_chain_to_daily(self):
+        """A daily job depending on an hourly one waits for the hourly
+        instance covering its period start."""
+        clock = LogicalClock()
+        oink = Oink(clock)
+        ran = []
+        oink.hourly("mover", lambda p: None)
+        oink.daily("sequences", ran.append, depends_on=["mover"])
+        oink.run_until(MILLIS_PER_DAY)
+        assert ran == [0]
+
+    def test_cycle_detection(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        oink.hourly("a", lambda p: None)
+        job_b = oink.hourly("b", lambda p: None, depends_on=["a"])
+        # Forge a cycle (the public API prevents it; simulate corruption).
+        object.__setattr__(oink._jobs["a"], "depends_on", ("b",))
+        clock.advance(MILLIS_PER_HOUR)
+        with pytest.raises(CycleError):
+            oink.run_pending()
+
+
+class TestGatesAndRetries:
+    def test_gate_blocks_until_open(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        ran = []
+        open_flag = []
+        oink.hourly("gated", ran.append, gate=lambda p: bool(open_flag))
+        oink.run_until(MILLIS_PER_HOUR)
+        assert ran == []
+        open_flag.append(True)
+        oink.run_pending()
+        assert ran == [0]
+
+    def test_retries_bounded(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        attempts = []
+
+        def flaky(period):
+            attempts.append(period)
+            raise RuntimeError("always fails")
+
+        oink.hourly("flaky", flaky, max_retries=2)
+        oink.run_until(MILLIS_PER_HOUR)
+        oink.run_pending()
+        oink.run_pending()
+        oink.run_pending()  # beyond max_retries: no more attempts
+        assert len(attempts) == 3  # 1 try + 2 retries
+
+    def test_success_after_retry(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        state = {"tries": 0}
+
+        def eventually(period):
+            state["tries"] += 1
+            if state["tries"] < 2:
+                raise RuntimeError("first time fails")
+
+        oink.hourly("eventually", eventually, max_retries=3)
+        oink.run_until(MILLIS_PER_HOUR)
+        oink.run_pending()
+        assert oink.completed("eventually", 0)
+        assert len(oink.traces.successes("eventually")) == 1
+
+
+class TestTraces:
+    def test_trace_fields(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        oink.hourly("t", lambda p: None)
+        oink.run_until(MILLIS_PER_HOUR)
+        trace = oink.traces.for_job("t")[0]
+        assert trace.success is True
+        assert trace.completed
+        assert trace.duration_ms == 0  # logical clock does not advance in fn
+        assert trace.period_start == 0
+
+    def test_failure_records_error(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+
+        def boom(period):
+            raise ValueError("details here")
+
+        oink.hourly("t", boom)
+        oink.run_until(MILLIS_PER_HOUR)
+        trace = oink.traces.failures("t")[0]
+        assert "ValueError" in trace.error
+        assert "details here" in trace.error
+
+    def test_tracelog_queries(self):
+        log = TraceLog()
+        log.append(ExecutionTrace("a", 0, 0, 0, 1, True))
+        log.append(ExecutionTrace("a", 1, 1, 1, 2, False, "err"))
+        assert len(log) == 2
+        assert len(log.successes("a")) == 1
+        assert len(log.failures("a")) == 1
+        assert log.succeeded("a", 0)
+        assert not log.succeeded("a", 1)
+
+
+class TestRollups:
+    def test_rollup_keys_shapes(self):
+        keys = dict(rollup_keys("web:home:timeline:stream:tweet:impression"))
+        assert keys[5] == ("web", "home", "timeline", "stream", "tweet",
+                           "impression")
+        assert keys[4] == ("web", "home", "timeline", "stream", "*",
+                           "impression")
+        assert keys[1] == ("web", "*", "*", "*", "*", "impression")
+
+    def test_rollup_job_counts(self, warehouse, date, workload):
+        job = RollupJob(warehouse)
+        result = job.run(*date, materialize=False)
+        # Level-5 total must equal the day's event count (each event
+        # contributes exactly one level-5 key).
+        events_in_day = sum(result.tables[5].values())
+        assert events_in_day > 0
+        # Every level has the same total (each event fans to all levels).
+        totals = {level: sum(result.tables[level].values())
+                  for level in ROLLUP_LEVELS}
+        assert len(set(totals.values())) == 1
+
+    def test_rollup_aggregation_consistency(self, warehouse, date):
+        """Level-1 counts are sums of level-5 counts with matching
+        client+action."""
+        result = RollupJob(warehouse).run(*date, materialize=False)
+        level5, level1 = result.tables[5], result.tables[1]
+        for (key, country, status), count in list(level1.items())[:20]:
+            client, *_stars, action = key
+            total = sum(
+                c for (k, ctry, st), c in level5.items()
+                if k[0] == client and k[5] == action
+                and ctry == country and st == status
+            )
+            assert total == count
+
+    def test_rollup_breakdowns(self, warehouse, date):
+        result = RollupJob(warehouse).run(*date, materialize=False)
+        some_key = next(iter(result.tables[1]))[0]
+        total = result.count(1, some_key)
+        by_status = (result.count(1, some_key, status="logged_in")
+                     + result.count(1, some_key, status="logged_out"))
+        assert total == by_status
+
+    def test_rollup_materialize_and_load(self, date, workload):
+        from repro.hdfs.namenode import HDFS
+        from repro.workload.generator import load_warehouse_day
+
+        fs = HDFS()
+        load_warehouse_day(fs, workload)
+        result = RollupJob(fs).run(*date)
+        loaded = RollupJob.load(fs, *date)
+        assert loaded.tables[5] == result.tables[5]
+        assert loaded.tables[1] == result.tables[1]
+
+
+class TestStandardPipeline:
+    @pytest.fixture
+    def pipeline_run(self):
+        """Drive a full generated day through the Oink-scheduled
+        production topology."""
+        from repro.core.builder import SessionSequenceBuilder
+        from repro.core.event import CLIENT_EVENTS_CATEGORY
+        from repro.logmover.mover import LogMover
+        from repro.oink.pipelines import register_standard_pipeline
+        from repro.scribe.cluster import ScribeDeployment
+        from repro.scribe.message import CategoryConfig, LogEntry
+        from repro.workload.generator import WorkloadGenerator
+
+        workload = WorkloadGenerator(num_users=80, seed=4).generate_day(
+            2012, 1, 1)
+        deployment = ScribeDeployment(["dc"], num_hosts=2,
+                                      num_aggregators=2, seed=2,
+                                      durable_aggregators=True)
+        deployment.categories.register(
+            CategoryConfig(CLIENT_EVENTS_CATEGORY, max_file_records=300))
+        datacenter = deployment.datacenters["dc"]
+        clock = deployment.clock
+        oink = Oink(clock)
+        mover = LogMover({"dc": datacenter.staging}, deployment.warehouse)
+        builder = SessionSequenceBuilder(deployment.warehouse)
+        state = register_standard_pipeline(
+            oink, mover, builder,
+            rollup_job=__import__("repro.oink.rollups",
+                                  fromlist=["RollupJob"]).RollupJob(
+                deployment.warehouse))
+
+        for event in sorted(workload.events, key=lambda e: e.timestamp):
+            clock.advance_to(event.timestamp)
+            oink.run_pending()  # hourly movers fire as hours elapse
+            datacenter.log_from(event.user_id,
+                                LogEntry(CLIENT_EVENTS_CATEGORY,
+                                         event.to_bytes()))
+            datacenter.flush()  # keep staging current for the mover
+        clock.advance_to(MILLIS_PER_DAY + 2 * MILLIS_PER_HOUR)
+        oink.run_pending()
+        return oink, state, workload
+
+    def test_dependency_chain_completed(self, pipeline_run):
+        oink, state, __ = pipeline_run
+        assert oink.traces.succeeded("session_sequences", 0)
+        assert oink.traces.succeeded("rollups", 0)
+        assert oink.traces.succeeded("catalog", 0)
+
+    def test_hourly_mover_ran_per_hour(self, pipeline_run):
+        oink, state, __ = pipeline_run
+        mover_runs = oink.traces.successes("log_mover")
+        assert len(mover_runs) >= 24
+        assert state.hours_moved_for_day((2012, 1, 1)) > 12
+
+    def test_artifacts_produced(self, pipeline_run):
+        __, state, workload = pipeline_run
+        build = state.builds[(2012, 1, 1)]
+        assert build.sessions_built > 0
+        rollups = state.rollups[(2012, 1, 1)]
+        assert sum(rollups.tables[5].values()) == build.events_scanned
+        catalog = state.catalogs[(2012, 1, 1)]
+        assert len(catalog) == build.distinct_events
+
+    def test_sequences_wait_for_mover(self):
+        """With nothing moved, the daily build never fires."""
+        from repro.core.builder import SessionSequenceBuilder
+        from repro.hdfs.namenode import HDFS
+        from repro.logmover.mover import LogMover
+        from repro.oink.pipelines import register_standard_pipeline
+
+        clock = LogicalClock()
+        oink = Oink(clock)
+        warehouse = HDFS()
+        state = register_standard_pipeline(
+            oink, LogMover({"dc": HDFS()}, warehouse),
+            SessionSequenceBuilder(warehouse))
+        clock.advance_to(2 * MILLIS_PER_DAY)
+        oink.run_pending()
+        assert state.builds == {}
+        assert not oink.traces.for_job("session_sequences")
+
+
+class TestCatchUp:
+    def test_owed_periods_run_after_downtime(self):
+        """Oink catches up on every period missed while it was down."""
+        clock = LogicalClock()
+        oink = Oink(clock)
+        runs = []
+        oink.daily("nightly", runs.append)
+        clock.advance(3 * MILLIS_PER_DAY)  # scheduler 'down' for 3 days
+        oink.run_pending()
+        assert runs == [0, MILLIS_PER_DAY, 2 * MILLIS_PER_DAY]
+
+    def test_catch_up_respects_dependencies(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        order = []
+        oink.daily("a", lambda p: order.append(("a", p)))
+        oink.daily("b", lambda p: order.append(("b", p)),
+                   depends_on=["a"])
+        clock.advance(2 * MILLIS_PER_DAY)
+        oink.run_pending()
+        assert order == [("a", 0), ("a", MILLIS_PER_DAY),
+                         ("b", 0), ("b", MILLIS_PER_DAY)]

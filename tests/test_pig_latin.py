@@ -1,0 +1,255 @@
+"""Pig Latin interpreter tests: the paper's scripts, verbatim."""
+
+import pytest
+
+from repro.analytics.counting import count_events_sequences
+from repro.analytics.funnel import run_funnel
+from repro.pig.latin import (
+    PigLatinError,
+    PigLatinInterpreter,
+    standard_bindings,
+)
+from repro.pig.loaders import InMemoryLoader
+from repro.pig.relation import PigServer
+from repro.workload.behavior import signup_funnel_stages
+
+PAPER_SCRIPT = """
+define CountClientEvents CountClientEvents('$EVENTS');
+
+raw = load '/session_sequences/$DATE/' using SessionSequencesLoader();
+generated = foreach raw generate CountClientEvents(symbols);
+grouped = group generated all;
+count = foreach grouped generate SUM(generated);
+dump count;
+"""
+
+
+def _date_path(date):
+    return f"{date[0]:04d}/{date[1]:02d}/{date[2]:02d}"
+
+
+@pytest.fixture
+def interpreter(warehouse, dictionary, date):
+    def build(variables):
+        return PigLatinInterpreter(PigServer(), variables=variables,
+                                   **standard_bindings(warehouse,
+                                                       dictionary))
+
+    return build
+
+
+class TestPaperScripts:
+    def test_counting_script_verbatim(self, interpreter, warehouse,
+                                      dictionary, date):
+        """§5.2's script, with $EVENTS/$DATE substitution, must match
+        the fluent-API answer exactly."""
+        interp = interpreter({"EVENTS": "*:profile_click",
+                              "DATE": _date_path(date)})
+        result = interp.run(PAPER_SCRIPT)
+        expected = count_events_sequences(warehouse, date,
+                                          "*:profile_click", dictionary)
+        assert result.last_dump == [expected]
+
+    def test_count_variant(self, interpreter, warehouse, dictionary, date):
+        """"A common variant ... is a replacement of SUM by COUNT"."""
+        interp = interpreter({"EVENTS": "*:query",
+                              "DATE": _date_path(date)})
+        result = interp.run(PAPER_SCRIPT.replace("SUM", "COUNT"))
+        expected = count_events_sequences(warehouse, date, "*:query",
+                                          dictionary, mode="sessions")
+        assert result.last_dump == [expected]
+
+    def test_funnel_script(self, interpreter, warehouse, dictionary, date):
+        """§5.3's funnel definition, adapted to a runnable script."""
+        stages = signup_funnel_stages("web")[:3]
+        script = f"""
+        define Funnel ClientEventsFunnel('{stages[0]}', '{stages[1]}',
+                                         '{stages[2]}');
+        raw = load '/session_sequences/{_date_path(date)}/'
+              using SessionSequencesLoader();
+        depths = foreach raw generate Funnel(symbols);
+        dump depths;
+        """
+        interp = interpreter({})
+        depths = interp.run(script).last_dump
+        report = run_funnel(warehouse, date, stages, dictionary)
+        for k in range(1, 4):
+            assert sum(1 for d in depths if d >= k) == \
+                report.stage_counts[k - 1]
+
+    def test_jobs_have_real_boundaries(self, warehouse, dictionary, date):
+        """Scripts compile to the same MR job structure as the API."""
+        server = PigServer()
+        interp = PigLatinInterpreter(
+            server, variables={"EVENTS": "*:impression",
+                               "DATE": _date_path(date)},
+            **standard_bindings(warehouse, dictionary))
+        interp.run(PAPER_SCRIPT)
+        names = [run.job_name for run in server.tracker.runs]
+        assert "group_all" in names  # the shuffle is real
+
+
+class TestLanguageFeatures:
+    def _interp(self, rows, **kwargs):
+        server = PigServer()
+        loaders = {"Mem": lambda path: InMemoryLoader(rows)}
+        return PigLatinInterpreter(server, loaders=loaders, **kwargs)
+
+    def test_filter_by_udf(self):
+        interp = self._interp([1, 2, 3, 4],
+                              udfs={"IsEven": lambda: lambda x: x % 2 == 0})
+        result = interp.run("""
+            define IsEven IsEven();
+            raw = load 'x' using Mem();
+            evens = filter raw by IsEven(*);
+            dump evens;
+        """)
+        assert result.last_dump == [2, 4]
+
+    def test_group_by_field(self):
+        rows = [{"k": 1, "v": 10}, {"k": 2, "v": 20}, {"k": 1, "v": 5}]
+        interp = self._interp(rows)
+        result = interp.run("""
+            raw = load 'x' using Mem();
+            grouped = group raw by k;
+            sums = foreach grouped generate SUM(v);
+            dump sums;
+        """)
+        assert sorted(result.last_dump) == [15, 20]
+
+    def test_distinct_and_limit(self):
+        interp = self._interp([3, 1, 3, 2, 1])
+        result = interp.run("""
+            raw = load 'x' using Mem();
+            d = distinct raw;
+            top = limit d 2;
+            dump top;
+        """)
+        assert len(result.last_dump) == 2
+
+    def test_flatten(self):
+        interp = self._interp([2, 3],
+                              udfs={"Upto": lambda: lambda n: range(n)})
+        result = interp.run("""
+            define Upto Upto();
+            raw = load 'x' using Mem();
+            flat = foreach raw generate flatten(Upto(*));
+            dump flat;
+        """)
+        assert result.last_dump == [0, 1, 0, 1, 2]
+
+    def test_multiple_dumps(self):
+        interp = self._interp([1, 2])
+        result = interp.run("""
+            raw = load 'x' using Mem();
+            dump raw;
+            doubled = foreach raw generate *;
+            dump doubled;
+        """)
+        assert len(result.dumps) == 2
+
+    def test_comments_stripped(self):
+        interp = self._interp([5])
+        result = interp.run("""
+            -- a comment line
+            raw = load 'x' using Mem();  -- trailing comment
+            dump raw;
+        """)
+        assert result.last_dump == [5]
+
+
+class TestErrors:
+    def _interp(self, **kwargs):
+        return PigLatinInterpreter(PigServer(), **kwargs)
+
+    def test_undefined_parameter(self):
+        with pytest.raises(PigLatinError, match="undefined parameter"):
+            self._interp().run("dump $NOPE;")
+
+    def test_unknown_loader(self):
+        with pytest.raises(PigLatinError, match="unknown loader"):
+            self._interp().run("raw = load 'p' using Ghost();")
+
+    def test_unknown_udf_in_define(self):
+        with pytest.raises(PigLatinError, match="unknown UDF"):
+            self._interp().run("define X Ghost('a');")
+
+    def test_udf_used_before_define(self):
+        interp = self._interp(
+            loaders={"Mem": lambda path: InMemoryLoader([1])})
+        with pytest.raises(PigLatinError, match="before DEFINE"):
+            interp.run("""
+                raw = load 'x' using Mem();
+                out = foreach raw generate Mystery(*);
+                dump out;
+            """)
+
+    def test_unknown_alias(self):
+        with pytest.raises(PigLatinError, match="unknown alias"):
+            self._interp().run("dump ghost;")
+
+    def test_unparseable_statement(self):
+        with pytest.raises(PigLatinError, match="cannot parse"):
+            self._interp().run("cogroup a by x, b by y;")
+
+    def test_load_requires_using(self):
+        with pytest.raises(PigLatinError, match="USING"):
+            self._interp().run("raw = load '/plain/path';")
+
+    def test_sum_outside_group(self):
+        """A bad aggregate fails the job the way a broken UDF fails a
+        Hadoop job: the task exhausts its attempts and surfaces the
+        underlying error as the cause."""
+        from repro.mapreduce.engine import TaskFailedError
+
+        interp = self._interp(
+            loaders={"Mem": lambda path: InMemoryLoader([1])})
+        with pytest.raises(TaskFailedError, match="grouped relation"):
+            interp.run("""
+                raw = load 'x' using Mem();
+                bad = foreach raw generate SUM(*);
+                dump bad;
+            """)
+
+    def test_bad_date_in_standard_bindings(self, warehouse):
+        bindings = standard_bindings(warehouse)
+        with pytest.raises(PigLatinError, match="YYYY/MM/DD"):
+            bindings["loaders"]["ClientEventsLoader"]("/logs/nodate")
+
+
+class TestStore:
+    def test_store_writes_json_lines(self, warehouse, dictionary, date,
+                                     interpreter):
+        import json
+
+        interp = interpreter({"DATE": _date_path(date)})
+        interp.run("""
+            raw = load '/session_sequences/$DATE/'
+                  using SessionSequencesLoader();
+            short = limit raw 5;
+            store short into '/exports/sample.json' using JsonStorage();
+        """)
+        payload = warehouse.open_bytes("/exports/sample.json")
+        rows = [json.loads(line) for line in payload.decode().splitlines()]
+        assert len(rows) == 5
+        assert all("session_sequence" in row for row in rows)
+
+    def test_store_default_storer(self, warehouse, dictionary, date,
+                                  interpreter):
+        interp = interpreter({"DATE": _date_path(date)})
+        interp.run("""
+            raw = load '/session_sequences/$DATE/'
+                  using SessionSequencesLoader();
+            one = limit raw 1;
+            store one into '/exports/one.json';
+        """)
+        assert warehouse.is_file("/exports/one.json")
+
+    def test_unknown_storer(self, interpreter, date):
+        interp = interpreter({"DATE": _date_path(date)})
+        with pytest.raises(PigLatinError, match="unknown storer"):
+            interp.run("""
+                raw = load '/session_sequences/$DATE/'
+                      using SessionSequencesLoader();
+                store raw into '/x' using ParquetStorage();
+            """)

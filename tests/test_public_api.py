@@ -1,0 +1,71 @@
+"""Public API smoke tests: top-level exports, loaders, misc gaps."""
+
+import pytest
+
+import repro
+from repro.hdfs.namenode import HDFS
+from repro.pig.loaders import FramedMessagesLoader
+from repro.pig.relation import PigServer
+from repro.scribe.aggregator import encode_messages
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("package", [
+        "repro.core", "repro.thriftlike", "repro.scribe", "repro.hdfs",
+        "repro.logmover", "repro.mapreduce", "repro.pig", "repro.oink",
+        "repro.legacy", "repro.analytics", "repro.nlp",
+        "repro.elephanttwin", "repro.workload",
+    ])
+    def test_subpackage_all_resolves(self, package):
+        import importlib
+
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert getattr(module, name) is not None
+
+    def test_convenience_flow(self):
+        """The names exported at top level compose into the core flow."""
+        from repro import (
+            ClientEvent,
+            EventDictionary,
+            SessionSequenceRecord,
+            Sessionizer,
+        )
+
+        event = ClientEvent.make(
+            "web:home:timeline:stream:tweet:impression", user_id=1,
+            session_id="s", ip="1.1.1.1", timestamp=0)
+        (session,) = Sessionizer().sessionize([event])
+        dictionary = EventDictionary([event.event_name])
+        record = SessionSequenceRecord.from_session(session, dictionary)
+        assert record.num_events == 1
+
+
+class TestFramedMessagesLoader:
+    def test_loads_raw_messages(self):
+        fs = HDFS()
+        fs.create("/raw/f1", encode_messages([b"a", b"b"]), codec="zlib")
+        fs.create("/raw/f2", encode_messages([b"c"]))
+        loader = FramedMessagesLoader(fs, "/raw")
+        rows = PigServer().load(loader).dump()
+        assert sorted(rows) == [b"a", b"b", b"c"]
+
+
+class TestInitiatorEnumOnWire:
+    def test_initiator_survives_serialization(self):
+        from repro.core.event import ClientEvent, EventInitiator
+
+        for initiator in EventInitiator:
+            event = ClientEvent.make(
+                "web:home:timeline:stream:tweet:impression", user_id=1,
+                session_id="s", ip="1.1.1.1", timestamp=0,
+                initiator=initiator)
+            decoded = ClientEvent.from_bytes(event.to_bytes())
+            assert decoded.initiator is initiator

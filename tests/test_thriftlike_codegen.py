@@ -1,0 +1,89 @@
+"""Record I/O tests: framing, derived readers/writers, file format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.thriftlike.codegen import (
+    ThriftFileFormat,
+    frame,
+    iter_frames,
+    record_reader,
+    record_writer,
+)
+from repro.thriftlike.struct import ThriftStruct
+from repro.thriftlike.types import FieldSpec, ProtocolError, TType
+
+
+class Rec(ThriftStruct):
+    FIELDS = (
+        FieldSpec(1, "n", TType.I64, required=True),
+        FieldSpec(2, "s", TType.STRING),
+    )
+
+
+class TestFraming:
+    def test_roundtrip_multiple_frames(self):
+        payloads = [b"", b"a", b"hello" * 100]
+        data = b"".join(frame(p) for p in payloads)
+        assert list(iter_frames(data)) == payloads
+
+    def test_empty_stream(self):
+        assert list(iter_frames(b"")) == []
+
+    def test_truncated_frame_raises(self):
+        data = frame(b"hello")[:-2]
+        with pytest.raises(ProtocolError):
+            list(iter_frames(data))
+
+    @given(st.lists(st.binary(max_size=100), max_size=20))
+    def test_framing_property(self, payloads):
+        data = b"".join(frame(p) for p in payloads)
+        assert list(iter_frames(data)) == payloads
+
+
+class TestDerivedReadersWriters:
+    def test_writer_reader_roundtrip(self):
+        write = record_writer(Rec)
+        read = record_reader(Rec)
+        records = [Rec(n=i, s=f"r{i}") for i in range(10)]
+        assert list(read(write(records))) == records
+
+    def test_writer_rejects_wrong_type(self):
+        write = record_writer(Rec)
+        with pytest.raises(TypeError):
+            write([Rec(n=1), "not a record"])
+
+    def test_binary_protocol_variant(self):
+        write = record_writer(Rec, protocol="binary")
+        read = record_reader(Rec, protocol="binary")
+        records = [Rec(n=5, s="x")]
+        assert list(read(write(records))) == records
+
+    def test_protocol_mismatch_fails(self):
+        write = record_writer(Rec, protocol="binary")
+        read = record_reader(Rec, protocol="compact")
+        data = write([Rec(n=1, s="abcdef")])
+        with pytest.raises(Exception):
+            list(read(data))
+
+
+class TestThriftFileFormat:
+    def test_encode_decode(self):
+        fmt = ThriftFileFormat(Rec)
+        records = [Rec(n=i) for i in range(5)]
+        assert fmt.decode(fmt.encode(records)) == records
+
+    def test_iter_decode_is_lazy(self):
+        fmt = ThriftFileFormat(Rec)
+        data = fmt.encode([Rec(n=1), Rec(n=2)])
+        iterator = fmt.iter_decode(data)
+        assert next(iterator).n == 1
+        assert next(iterator).n == 2
+
+    def test_empty_input(self):
+        fmt = ThriftFileFormat(Rec)
+        assert fmt.decode(b"") == []
+        assert fmt.encode([]) == b""
+
+    def test_repr(self):
+        assert "Rec" in repr(ThriftFileFormat(Rec))

@@ -1,0 +1,112 @@
+"""Tests for the type system: FieldSpec construction and value checking."""
+
+import pytest
+
+from repro.thriftlike.types import (
+    FieldSpec,
+    TType,
+    ValidationError,
+    check_value,
+    elem,
+)
+
+
+class TestFieldSpec:
+    def test_basic_construction(self):
+        spec = FieldSpec(1, "user_id", TType.I64, required=True)
+        assert spec.fid == 1
+        assert spec.name == "user_id"
+        assert spec.ttype is TType.I64
+        assert spec.required
+
+    def test_fid_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            FieldSpec(0, "x", TType.I32)
+
+    def test_fid_upper_bound(self):
+        with pytest.raises(ValidationError):
+            FieldSpec(40000, "x", TType.I32)
+        FieldSpec(32767, "x", TType.I32)  # boundary ok
+
+    def test_list_requires_element_spec(self):
+        with pytest.raises(ValidationError):
+            FieldSpec(1, "xs", TType.LIST)
+
+    def test_set_requires_element_spec(self):
+        with pytest.raises(ValidationError):
+            FieldSpec(1, "xs", TType.SET)
+
+    def test_map_requires_both_specs(self):
+        with pytest.raises(ValidationError):
+            FieldSpec(1, "m", TType.MAP, key=elem(TType.STRING))
+
+    def test_struct_requires_class(self):
+        with pytest.raises(ValidationError):
+            FieldSpec(1, "s", TType.STRUCT)
+
+
+class TestCheckValue:
+    def test_bool_accepts_bool_only(self):
+        spec = FieldSpec(1, "b", TType.BOOL)
+        check_value(spec, True)
+        with pytest.raises(ValidationError):
+            check_value(spec, 1)
+
+    @pytest.mark.parametrize("ttype,good,bad", [
+        (TType.BYTE, 127, 128),
+        (TType.I16, 32767, 32768),
+        (TType.I32, 2 ** 31 - 1, 2 ** 31),
+        (TType.I64, 2 ** 63 - 1, 2 ** 63),
+    ])
+    def test_int_bounds(self, ttype, good, bad):
+        spec = FieldSpec(1, "n", ttype)
+        check_value(spec, good)
+        check_value(spec, -good - 1)
+        with pytest.raises(ValidationError):
+            check_value(spec, bad)
+
+    def test_int_rejects_bool(self):
+        spec = FieldSpec(1, "n", TType.I32)
+        with pytest.raises(ValidationError):
+            check_value(spec, True)
+
+    def test_double_accepts_int_and_float(self):
+        spec = FieldSpec(1, "d", TType.DOUBLE)
+        check_value(spec, 1.5)
+        check_value(spec, 3)
+        with pytest.raises(ValidationError):
+            check_value(spec, "1.5")
+
+    def test_string_accepts_str_and_bytes(self):
+        spec = FieldSpec(1, "s", TType.STRING)
+        check_value(spec, "hello")
+        check_value(spec, b"hello")
+        with pytest.raises(ValidationError):
+            check_value(spec, 7)
+
+    def test_list_checks_elements_recursively(self):
+        spec = FieldSpec(1, "xs", TType.LIST, value=elem(TType.I32))
+        check_value(spec, [1, 2, 3])
+        with pytest.raises(ValidationError):
+            check_value(spec, [1, "two"])
+
+    def test_nested_container_validation(self):
+        inner = elem(TType.LIST, value=elem(TType.I32))
+        spec = FieldSpec(1, "m", TType.MAP, key=elem(TType.STRING),
+                         value=inner)
+        check_value(spec, {"a": [1, 2]})
+        with pytest.raises(ValidationError):
+            check_value(spec, {"a": [1, "x"]})
+
+    def test_set_type(self):
+        spec = FieldSpec(1, "s", TType.SET, value=elem(TType.STRING))
+        check_value(spec, {"a", "b"})
+        with pytest.raises(ValidationError):
+            check_value(spec, ["a"])
+
+    def test_map_rejects_bad_key(self):
+        spec = FieldSpec(1, "m", TType.MAP, key=elem(TType.I32),
+                         value=elem(TType.STRING))
+        check_value(spec, {1: "one"})
+        with pytest.raises(ValidationError):
+            check_value(spec, {"1": "one"})

@@ -1,0 +1,190 @@
+"""ZooKeeper simulation tests: znodes, sessions, ephemerals, watches."""
+
+import pytest
+
+from repro.scribe.zookeeper import (
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    SessionExpiredError,
+    ZooKeeper,
+    ZooKeeperError,
+)
+
+
+class TestZNodes:
+    def test_create_and_get(self):
+        zk = ZooKeeper()
+        zk.create("/a", b"data")
+        assert zk.get_data("/a") == b"data"
+
+    def test_create_requires_existing_parent(self):
+        zk = ZooKeeper()
+        with pytest.raises(NoNodeError):
+            zk.create("/a/b")
+
+    def test_ensure_path(self):
+        zk = ZooKeeper()
+        zk.ensure_path("/a/b/c")
+        assert zk.exists("/a/b/c")
+        zk.ensure_path("/a/b/c")  # idempotent
+
+    def test_duplicate_create_fails(self):
+        zk = ZooKeeper()
+        zk.create("/a")
+        with pytest.raises(NodeExistsError):
+            zk.create("/a")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ZooKeeperError):
+            ZooKeeper().create("relative")
+
+    def test_set_data_and_get(self):
+        zk = ZooKeeper()
+        zk.create("/a", b"1")
+        zk.set_data("/a", b"2")
+        assert zk.get_data("/a") == b"2"
+
+    def test_get_children_sorted(self):
+        zk = ZooKeeper()
+        zk.create("/p")
+        for name in ("c", "a", "b"):
+            zk.create(f"/p/{name}")
+        assert zk.get_children("/p") == ["a", "b", "c"]
+
+    def test_delete_leaf(self):
+        zk = ZooKeeper()
+        zk.create("/a")
+        zk.delete("/a")
+        assert not zk.exists("/a")
+
+    def test_delete_with_children_fails(self):
+        zk = ZooKeeper()
+        zk.create("/a")
+        zk.create("/a/b")
+        with pytest.raises(NotEmptyError):
+            zk.delete("/a")
+
+    def test_missing_node_errors(self):
+        zk = ZooKeeper()
+        with pytest.raises(NoNodeError):
+            zk.get_data("/none")
+        with pytest.raises(NoNodeError):
+            zk.delete("/none")
+        with pytest.raises(NoNodeError):
+            zk.get_children("/none")
+
+    def test_sequential_nodes_monotone(self):
+        zk = ZooKeeper()
+        zk.create("/q")
+        first = zk.create("/q/item-", sequential=True)
+        second = zk.create("/q/item-", sequential=True)
+        assert first < second
+        assert first.startswith("/q/item-")
+
+
+class TestSessionsAndEphemerals:
+    def test_ephemeral_vanishes_with_session(self):
+        zk = ZooKeeper()
+        zk.create("/workers")
+        session = zk.connect()
+        session.create("/workers/w1", ephemeral=True)
+        assert zk.get_children("/workers") == ["w1"]
+        session.close()
+        assert zk.get_children("/workers") == []
+
+    def test_persistent_nodes_survive_session_close(self):
+        zk = ZooKeeper()
+        session = zk.connect()
+        session.create("/durable")
+        session.close()
+        assert zk.exists("/durable")
+
+    def test_closed_session_rejects_operations(self):
+        zk = ZooKeeper()
+        session = zk.connect()
+        session.close()
+        with pytest.raises(SessionExpiredError):
+            session.create("/x")
+
+    def test_session_close_is_idempotent(self):
+        zk = ZooKeeper()
+        session = zk.connect()
+        session.close()
+        session.close()
+
+    def test_ephemeral_requires_session(self):
+        zk = ZooKeeper()
+        with pytest.raises(ZooKeeperError):
+            zk.create("/e", ephemeral=True)
+
+    def test_ephemeral_cannot_have_children(self):
+        zk = ZooKeeper()
+        session = zk.connect()
+        session.create("/e", ephemeral=True)
+        with pytest.raises(ZooKeeperError):
+            zk.create("/e/child")
+
+    def test_multiple_sessions_independent(self):
+        zk = ZooKeeper()
+        zk.create("/w")
+        s1, s2 = zk.connect(), zk.connect()
+        s1.create("/w/a", ephemeral=True)
+        s2.create("/w/b", ephemeral=True)
+        s1.close()
+        assert zk.get_children("/w") == ["b"]
+
+    def test_explicit_delete_of_ephemeral(self):
+        zk = ZooKeeper()
+        zk.create("/w")
+        session = zk.connect()
+        session.create("/w/e", ephemeral=True)
+        session.delete("/w/e")
+        # closing must not fail on the already-deleted node
+        session.close()
+
+    def test_session_count(self):
+        zk = ZooKeeper()
+        s1 = zk.connect()
+        s2 = zk.connect()
+        assert zk.session_count() == 2
+        s1.close()
+        assert zk.session_count() == 1
+        s2.close()
+
+
+class TestWatches:
+    def test_child_watch_fires_on_create(self):
+        zk = ZooKeeper()
+        zk.create("/p")
+        fired = []
+        zk.get_children("/p", watch=lambda kind, path: fired.append((kind, path)))
+        zk.create("/p/c")
+        assert fired == [("child", "/p")]
+
+    def test_child_watch_is_one_shot(self):
+        zk = ZooKeeper()
+        zk.create("/p")
+        fired = []
+        zk.get_children("/p", watch=lambda k, p: fired.append(k))
+        zk.create("/p/a")
+        zk.create("/p/b")
+        assert len(fired) == 1
+
+    def test_exists_watch_fires_on_delete(self):
+        zk = ZooKeeper()
+        zk.create("/x")
+        fired = []
+        zk.exists("/x", watch=lambda kind, path: fired.append(kind))
+        zk.delete("/x")
+        assert fired == ["deleted"]
+
+    def test_watch_fires_when_session_closes_ephemeral(self):
+        zk = ZooKeeper()
+        zk.create("/w")
+        session = zk.connect()
+        session.create("/w/e", ephemeral=True)
+        fired = []
+        zk.get_children("/w", watch=lambda k, p: fired.append(k))
+        session.close()
+        assert fired == ["child"]
