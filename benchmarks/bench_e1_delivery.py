@@ -77,10 +77,19 @@ def test_delivery_ratio(benchmark, fault, durable, expect_lossless):
     lost = sum(a.stats.lost_in_crash
                for dc in deployment.datacenters.values()
                for a in dc.aggregators.values())
+    # buffered_total is the monotone ever-buffered count; the current
+    # backlog is the daemons' live buffer depth (zero after flush).
+    buffered_total = sum(d.stats.buffered_total
+                         for dc in deployment.datacenters.values()
+                         for d in dc.daemons)
+    backlog = sum(dc.total_daemon_buffered()
+                  for dc in deployment.datacenters.values())
     ratio = moved / accepted
     report(f"E1 delivery (fault={fault}, durable={durable})", [
         ("accepted", accepted), ("moved_to_warehouse", moved),
-        ("lost_in_crash", lost), ("delivery_ratio", round(ratio, 4)),
+        ("lost_in_crash", lost), ("ever_buffered", buffered_total),
+        ("backlog_after_flush", backlog),
+        ("delivery_ratio", round(ratio, 4)),
     ])
     assert moved + lost == accepted
     if expect_lossless:

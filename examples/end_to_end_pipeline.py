@@ -5,10 +5,18 @@ ZooKeeper) → staging HDFS → log mover (sanity checks, small-file merge,
 atomic hourly slide) → main warehouse → Oink-triggered session-sequence
 build → BirdBrain dashboard summary.
 
+Pipeline tracing is switched on, so the run ends with the observability
+layer's view: the pipeline-health panel and one entry's hop-by-hop trace.
+
 Run:  python examples/end_to_end_pipeline.py
 """
 
-from repro.analytics.dashboard import summarize_day
+from repro import obs
+from repro.analytics.dashboard import (
+    format_pipeline_health,
+    pipeline_health,
+    summarize_day,
+)
 from repro.clock import MILLIS_PER_DAY, MILLIS_PER_HOUR
 from repro.core.builder import SessionSequenceBuilder
 from repro.core.event import CLIENT_EVENTS_CATEGORY
@@ -23,6 +31,12 @@ DATE = (2012, 1, 1)  # the logical clock's epoch day
 
 
 def main() -> None:
+    # -- observability: fresh registry, tracing on -------------------------
+    registry = obs.MetricsRegistry()
+    obs.set_default_registry(registry)
+    tracer = obs.Tracer(enabled=True)
+    obs.set_default_tracer(tracer)
+
     # -- traffic -----------------------------------------------------------
     workload = WorkloadGenerator(num_users=150, seed=7).generate_day(*DATE)
     events = sorted(workload.events, key=lambda e: e.timestamp)
@@ -65,7 +79,7 @@ def main() -> None:
     # -- log mover: staging -> warehouse ------------------------------------
     mover = LogMover({name: dc.staging
                       for name, dc in deployment.datacenters.items()},
-                     deployment.warehouse)
+                     deployment.warehouse, clock=deployment.clock)
     moved = 0
     merged_from = 0
     for day in (DATE[2], DATE[2] + 1):  # sessions spill past midnight
@@ -104,6 +118,14 @@ def main() -> None:
           f"{summary.distinct_users} users")
     print("  by client:", dict(sorted(summary.sessions_by_client.items())))
     print("  by duration:", dict(sorted(summary.duration_histogram.items())))
+
+    # -- observability ------------------------------------------------------
+    print()
+    print(format_pipeline_health(pipeline_health(registry)))
+    first = tracer.trace_ids()[0]
+    print(f"\ntrace {first} hop by hop:")
+    for span in tracer.spans(first):
+        print(f"  {span.start_ms:>10d}ms {span.name:20s} {span.attrs}")
 
 
 if __name__ == "__main__":

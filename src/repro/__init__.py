@@ -18,6 +18,8 @@ The package is organised as a stack:
 - :mod:`repro.nlp` -- n-gram user modeling, collocations, alignment.
 - :mod:`repro.elephanttwin` -- block-level indexing with pushdown.
 - :mod:`repro.workload` -- seeded synthetic user-behavior generation.
+- :mod:`repro.obs` -- the observability layer: metrics registry,
+  pipeline tracing, and Prometheus-style exposition across every stage.
 """
 
 from repro.core.event import ClientEvent, EventInitiator

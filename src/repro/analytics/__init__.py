@@ -43,7 +43,10 @@ from repro.analytics.dashboard import (
     BirdBrain,
     DEFAULT_DURATION_BUCKETS,
     DailySummary,
+    PipelineHealth,
     bucket_label,
+    format_pipeline_health,
+    pipeline_health,
     summarize_day,
 )
 
@@ -81,6 +84,9 @@ __all__ = [
     "BirdBrain",
     "DEFAULT_DURATION_BUCKETS",
     "DailySummary",
+    "PipelineHealth",
     "bucket_label",
+    "format_pipeline_health",
+    "pipeline_health",
     "summarize_day",
 ]

@@ -5,6 +5,11 @@ analytical dashboard called BirdBrain. The dashboard displays the number
 of user sessions daily and plotted as a function of time ... We also
 provide the ability to drill down by client type (i.e., twitter.com site,
 iPhone, Android, etc.) and by (bucketed) session duration."
+
+Besides the paper's session statistics, the dashboard exposes a
+*pipeline-health panel* fed from the observability registry: delivery
+success rate, daemon backlog, and end-to-end latency percentiles -- the
+operational view of §2's "robust with respect to transient failures".
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dictionary import EventDictionary
 from repro.core.sequences import SessionSequenceRecord
+from repro.obs import names as obs_names
+from repro.obs.metrics import MetricsRegistry, get_default_registry
 
 #: Session-duration buckets in seconds (right-open; last is unbounded).
 DEFAULT_DURATION_BUCKETS = (0, 30, 60, 300, 900, 1800)
@@ -81,6 +88,83 @@ def summarize_day(date: Date,
         duration_histogram=dict(histogram),
         mean_session_events=(events / sessions) if sessions else 0.0,
     )
+
+
+@dataclass
+class PipelineHealth:
+    """The pipeline-health panel: delivery, backlog, latency at a glance."""
+
+    accepted: int
+    sent: int
+    staged: int
+    landed: int
+    dropped: int
+    lost_in_crash: int
+    backlog: int
+    check_failures: int
+    latency_count: int
+    latency_p50_ms: Optional[float]
+    latency_p95_ms: Optional[float]
+    latency_p99_ms: Optional[float]
+
+    @property
+    def delivery_rate(self) -> Optional[float]:
+        """Fraction of accepted entries that landed in the warehouse."""
+        if self.accepted == 0:
+            return None
+        return self.landed / self.accepted
+
+
+def pipeline_health(registry: Optional[MetricsRegistry] = None
+                    ) -> PipelineHealth:
+    """Compute the pipeline-health panel from the metrics registry.
+
+    Sums each delivery metric across its label sets (hosts, aggregators,
+    categories) and merges the per-category end-to-end latency histograms
+    into one percentile view.
+    """
+    if registry is None:
+        registry = get_default_registry()
+    latency = registry.merged_histogram(obs_names.PIPELINE_DELIVERY_LATENCY)
+    return PipelineHealth(
+        accepted=int(registry.total(obs_names.DAEMON_ACCEPTED)),
+        sent=int(registry.total(obs_names.DAEMON_SENT)),
+        staged=int(registry.total(obs_names.AGGREGATOR_WRITTEN)),
+        landed=int(registry.total(obs_names.MOVER_MESSAGES_MOVED)),
+        dropped=int(registry.total(obs_names.DAEMON_DROPPED)),
+        lost_in_crash=int(registry.total(obs_names.AGGREGATOR_LOST_IN_CRASH)),
+        backlog=int(registry.total(obs_names.DAEMON_BUFFER_DEPTH)),
+        check_failures=int(registry.total(obs_names.MOVER_CHECK_FAILURES)),
+        latency_count=latency.count,
+        latency_p50_ms=latency.percentile(0.5),
+        latency_p95_ms=latency.percentile(0.95),
+        latency_p99_ms=latency.percentile(0.99),
+    )
+
+
+def format_pipeline_health(health: PipelineHealth) -> str:
+    """Render the panel as the fixed-width text block the CLI prints."""
+    rate = health.delivery_rate
+    lines = [
+        "pipeline health",
+        f"  accepted {health.accepted:>10d}   sent    {health.sent:>10d}",
+        f"  staged   {health.staged:>10d}   landed  {health.landed:>10d}",
+        f"  backlog  {health.backlog:>10d}   dropped {health.dropped:>10d}",
+        f"  lost     {health.lost_in_crash:>10d}   "
+        f"quarantined {health.check_failures:>6d}",
+        "  delivery rate "
+        + (f"{rate:.2%}" if rate is not None else "n/a"),
+    ]
+    if health.latency_count:
+        lines.append(
+            f"  e2e latency (ms) p50={health.latency_p50_ms:.0f} "
+            f"p95={health.latency_p95_ms:.0f} "
+            f"p99={health.latency_p99_ms:.0f} "
+            f"(n={health.latency_count})"
+        )
+    else:
+        lines.append("  e2e latency: no traced deliveries")
+    return "\n".join(lines)
 
 
 class BirdBrain:

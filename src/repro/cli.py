@@ -10,6 +10,7 @@ answers across invocations.
     python -m repro funnel --client web
     python -m repro catalog --browse web
     python -m repro report
+    python -m repro obs
 """
 
 from __future__ import annotations
@@ -97,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME=VALUE",
                         help="parameter substitution, repeatable; DATE "
                              "defaults to the simulated day")
+
+    obs = add_parser(
+        "obs", "run the pipeline through Scribe with tracing on and "
+               "print the observability snapshot")
+    obs.add_argument("--days", type=int, default=1)
+    obs.add_argument("--json", action="store_true",
+                     help="print the JSON snapshot instead of the "
+                          "Prometheus-style exposition")
 
     add_parser("report", "one-day pipeline summary (quick look)")
     return parser
@@ -247,6 +256,41 @@ def cmd_script(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """``obs``: run the Scribe path end to end, print the metrics snapshot.
+
+    Installs a fresh registry and an enabled tracer so the snapshot
+    reflects exactly this invocation's pipeline run, then prints the
+    pipeline-health panel followed by the full exposition.
+    """
+    import json
+
+    from repro.analytics.dashboard import (
+        format_pipeline_health,
+        pipeline_health,
+    )
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        set_default_registry,
+        set_default_tracer,
+    )
+
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    set_default_tracer(Tracer(enabled=True))
+    simulation = WarehouseSimulation(num_users=args.users, seed=args.seed,
+                                     start=args.date, through_scribe=True)
+    simulation.run_days(args.days)
+    print(format_pipeline_health(pipeline_health(registry)))
+    print()
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(registry.expose(), end="")
+    return 0
+
+
 def cmd_report(args) -> int:
     """``report``: one-day pipeline summary."""
     simulation = _one_day(args)
@@ -271,6 +315,7 @@ _COMMANDS = {
     "funnel": cmd_funnel,
     "catalog": cmd_catalog,
     "script": cmd_script,
+    "obs": cmd_obs,
     "report": cmd_report,
 }
 

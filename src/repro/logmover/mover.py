@@ -19,9 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.clock import LogicalClock
 from repro.hdfs.layout import LOGS_ROOT, LogHour, staging_path
 from repro.hdfs.namenode import HDFS
 from repro.logmover.checks import DEFAULT_CHECKS, SanityCheck, SanityCheckError
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_default_registry
+from repro.obs.trace import get_default_tracer
 from repro.scribe.aggregator import decode_messages, encode_messages
 
 INCOMING_ROOT = "/_incoming"
@@ -60,7 +64,8 @@ class LogMover:
                  producers: Optional[Dict[str, Sequence[str]]] = None,
                  checks: Optional[List[SanityCheck]] = None,
                  target_file_bytes: int = 256 * 1024,
-                 codec: str = "zlib") -> None:
+                 codec: str = "zlib",
+                 clock: Optional[LogicalClock] = None) -> None:
         if not staging_clusters:
             raise ValueError("need at least one staging cluster")
         self._staging = dict(staging_clusters)
@@ -69,6 +74,9 @@ class LogMover:
         self._checks = list(DEFAULT_CHECKS if checks is None else checks)
         self._target_file_bytes = target_file_bytes
         self._codec = codec
+        # Timestamps trace spans and the end-to-end latency histogram;
+        # without a clock, spans fall back to each trace's latest time.
+        self._clock = clock
         self.moves: List[MoveResult] = []
 
     # -- completeness barrier -------------------------------------------
@@ -114,9 +122,13 @@ class LogMover:
                 f"{hour} not transferred by datacenters: {missing}"
             )
 
+        registry = get_default_registry()
+        tracer = get_default_tracer()
         messages: List[bytes] = []
         quarantined: List[Tuple[str, str]] = []
         input_files = 0
+        bytes_moved = 0
+        landed_ids: List[str] = []
         staged_paths: List[Tuple[str, str]] = []
         for datacenter in self.producing_datacenters(hour.category):
             staging = self._staging[datacenter]
@@ -124,13 +136,28 @@ class LogMover:
                 input_files += 1
                 staged_paths.append((datacenter, path))
                 file_messages = decode_messages(staging.open_bytes(path))
+                file_ids = tracer.ids_for_path(path)
                 try:
                     for check in self._checks:
                         check(path, file_messages)
                 except SanityCheckError as exc:
                     quarantined.append((exc.path, exc.reason))
+                    registry.counter(obs_names.MOVER_CHECK_FAILURES,
+                                     datacenter=datacenter,
+                                     category=hour.category).inc()
+                    for trace_id in file_ids:
+                        tracer.record(trace_id,
+                                      obs_names.SPAN_MOVER_QUARANTINE,
+                                      self._trace_now(tracer, trace_id),
+                                      path=path, reason=exc.reason)
                     continue
                 messages.extend(file_messages)
+                bytes_moved += sum(len(m) for m in file_messages)
+                for trace_id in file_ids:
+                    tracer.record(trace_id, obs_names.SPAN_MOVER_DEMUX,
+                                  self._trace_now(tracer, trace_id),
+                                  path=path, datacenter=datacenter)
+                landed_ids.extend(file_ids)
 
         # Merge many small files into a few big ones, then slide atomically.
         incoming_dir = hour.path(root=INCOMING_ROOT)
@@ -139,6 +166,7 @@ class LogMover:
         if self._warehouse.exists(final_dir):
             self._warehouse.delete(final_dir, recursive=True)
         self._warehouse.rename(incoming_dir, final_dir)
+        self._record_landed(hour, final_dir, landed_ids)
 
         if delete_staged:
             for datacenter, path in staged_paths:
@@ -148,6 +176,16 @@ class LogMover:
                             input_files=input_files,
                             output_files=output_files,
                             quarantined=quarantined)
+        registry.counter(obs_names.MOVER_HOURS_MOVED,
+                         category=hour.category).inc()
+        registry.counter(obs_names.MOVER_FILES_MOVED,
+                         category=hour.category).inc(input_files)
+        registry.counter(obs_names.MOVER_FILES_WRITTEN,
+                         category=hour.category).inc(output_files)
+        registry.counter(obs_names.MOVER_MESSAGES_MOVED,
+                         category=hour.category).inc(len(messages))
+        registry.counter(obs_names.MOVER_BYTES_MOVED,
+                         category=hour.category).inc(bytes_moved)
         self.moves.append(result)
         return result
 
@@ -160,6 +198,32 @@ class LogMover:
         return results
 
     # -- internals ---------------------------------------------------------
+    def _trace_now(self, tracer, trace_id: str) -> int:
+        """Span timestamp: the mover's clock, else the trace's latest time.
+
+        A clock-less mover (unit tests moving synthetic files) still
+        produces well-ordered traces; it just contributes zero latency.
+        """
+        if self._clock is not None:
+            return self._clock.now()
+        spans = tracer.spans(trace_id)
+        return max((s.end_ms for s in spans), default=0)
+
+    def _record_landed(self, hour: LogHour, final_dir: str,
+                       trace_ids: List[str]) -> None:
+        """Close out traces at the atomic slide and observe latency."""
+        tracer = get_default_tracer()
+        registry = get_default_registry()
+        for trace_id in trace_ids:
+            now = self._trace_now(tracer, trace_id)
+            tracer.record(trace_id, obs_names.SPAN_WAREHOUSE_LAND, now,
+                          directory=final_dir)
+            latency = tracer.end_to_end_ms(trace_id)
+            if latency is not None:
+                registry.histogram(
+                    obs_names.PIPELINE_DELIVERY_LATENCY,
+                    category=hour.category).observe(latency)
+
     def _write_merged(self, directory: str, messages: List[bytes]) -> int:
         """Write messages as a small number of large framed files."""
         self._warehouse.mkdirs(directory)

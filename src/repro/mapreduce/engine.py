@@ -9,9 +9,12 @@ into the parallel latency a real cluster would see.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_default_registry
 from repro.mapreduce.counters import (
     Counters,
     GROUP_IO,
@@ -58,7 +61,15 @@ def sizeof(value: Any) -> int:
 
 def run_job(job: MapReduceJob,
             tracker: Optional[JobTracker] = None) -> JobResult:
-    """Execute one job and return its output and counters."""
+    """Execute one job and return its output and counters.
+
+    Besides the returned :class:`Counters`, every run is bridged into the
+    process-wide metrics registry: the job's counters become
+    ``mapreduce_<group>_<name>_total{job=...}`` counters and its real
+    execution time lands in the ``mapreduce_job_wall_time_seconds``
+    histogram.
+    """
+    started = time.perf_counter()
     counters = Counters()
     splits = job.input_format.splits()
     partitions: List[List[Tuple[Any, Any]]] = [
@@ -102,7 +113,22 @@ def run_job(job: MapReduceJob,
 
     if tracker is not None:
         tracker.record(job.name, counters)
+    _bridge_counters(job.name, counters,
+                     time.perf_counter() - started)
     return JobResult(name=job.name, output=output, counters=counters)
+
+
+def _bridge_counters(job_name: str, counters: Counters,
+                     wall_time_s: float) -> None:
+    """Mirror one job's counters and wall time into the registry."""
+    registry = get_default_registry()
+    registry.counter(obs_names.MAPREDUCE_JOBS, job=job_name).inc()
+    registry.histogram(obs_names.MAPREDUCE_JOB_WALL_TIME,
+                       job=job_name).observe(wall_time_s)
+    for group, name, value in counters:
+        registry.counter(
+            f"{obs_names.MAPREDUCE_COUNTER_PREFIX}{group}_{name}_total",
+            job=job_name).inc(value)
 
 
 class TaskFailedError(Exception):

@@ -1,0 +1,52 @@
+"""Unified observability: metrics registry, pipeline tracing, exposition.
+
+The measurement layer the paper's claims rest on. Every stage of the
+reproduction -- Scribe daemons and aggregators, the log mover, the
+MapReduce engine, and Oink -- records counters, gauges, and latency
+histograms into a process-wide :class:`MetricsRegistry`, and (when
+tracing is enabled) emits per-entry spans into a :class:`Tracer` so any
+event's end-to-end hop-by-hop journey from daemon enqueue to warehouse
+land is reconstructable under the logical clock.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable_tracing()
+    # ... run the pipeline ...
+    print(obs.get_default_registry().expose())
+"""
+
+from repro.obs import names
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricTypeError,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    enable_tracing,
+    get_default_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricTypeError",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "enable_tracing",
+    "get_default_registry",
+    "get_default_tracer",
+    "names",
+    "set_default_registry",
+    "set_default_tracer",
+]

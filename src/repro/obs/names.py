@@ -1,0 +1,72 @@
+"""Canonical metric and span names for the observability layer.
+
+Naming conventions (documented in ``docs/observability.md``):
+
+- metrics are ``<subsystem>_<noun>[_<unit>][_total]`` -- subsystems are
+  ``scribe_daemon``, ``scribe_aggregator``, ``logmover``, ``mapreduce``,
+  ``oink``, and the cross-stage ``pipeline``;
+- monotonically-increasing counters end in ``_total``;
+- gauges name the instantaneous quantity (``scribe_daemon_buffer_depth``);
+- histograms carry their unit as a suffix (``_ms``, ``_seconds``);
+- labels identify the emitting instance (``host``, ``aggregator``,
+  ``datacenter``, ``category``, ``job``), never unbounded values.
+
+Span names mirror the hops of Figure 1 so one entry's end-to-end trace
+reads daemon → aggregator → staging → mover → warehouse.
+"""
+
+from __future__ import annotations
+
+# -- scribe daemon (per production host) --------------------------------
+DAEMON_ACCEPTED = "scribe_daemon_accepted_total"
+DAEMON_SENT = "scribe_daemon_sent_total"
+DAEMON_BUFFERED = "scribe_daemon_buffered_total"
+DAEMON_RESENT = "scribe_daemon_resent_total"
+DAEMON_DROPPED = "scribe_daemon_dropped_total"
+DAEMON_FAILOVERS = "scribe_daemon_failovers_total"
+DAEMON_BUFFER_DEPTH = "scribe_daemon_buffer_depth"
+
+# -- scribe aggregator --------------------------------------------------
+AGGREGATOR_RECEIVED = "scribe_aggregator_received_total"
+AGGREGATOR_WRITTEN = "scribe_aggregator_written_total"
+AGGREGATOR_FILES_WRITTEN = "scribe_aggregator_files_written_total"
+AGGREGATOR_LOST_IN_CRASH = "scribe_aggregator_lost_in_crash_total"
+AGGREGATOR_DISK_BUFFERED = "scribe_aggregator_disk_buffered_messages"
+
+# -- log mover ----------------------------------------------------------
+MOVER_HOURS_MOVED = "logmover_hours_moved_total"
+MOVER_FILES_MOVED = "logmover_files_moved_total"
+MOVER_FILES_WRITTEN = "logmover_files_written_total"
+MOVER_MESSAGES_MOVED = "logmover_messages_moved_total"
+MOVER_BYTES_MOVED = "logmover_bytes_moved_total"
+MOVER_CHECK_FAILURES = "logmover_check_failures_total"
+
+# -- cross-stage pipeline ------------------------------------------------
+PIPELINE_DELIVERY_LATENCY = "pipeline_delivery_latency_ms"
+
+# -- mapreduce -----------------------------------------------------------
+MAPREDUCE_JOBS = "mapreduce_jobs_total"
+MAPREDUCE_JOB_WALL_TIME = "mapreduce_job_wall_time_seconds"
+MAPREDUCE_COUNTER_PREFIX = "mapreduce_"
+
+# -- oink ----------------------------------------------------------------
+OINK_JOB_RUNS = "oink_job_runs_total"
+OINK_JOB_DURATION = "oink_job_duration_ms"
+
+# -- span names (pipeline hops, in order) --------------------------------
+SPAN_DAEMON_ENQUEUE = "daemon.enqueue"
+SPAN_DAEMON_RESEND = "daemon.resend"
+SPAN_AGGREGATOR_RECEIVE = "aggregator.receive"
+SPAN_STAGING_WRITE = "staging.write"
+SPAN_MOVER_DEMUX = "mover.demux"
+SPAN_MOVER_QUARANTINE = "mover.quarantine"
+SPAN_WAREHOUSE_LAND = "warehouse.land"
+
+#: The hops a fully-delivered entry traverses, in pipeline order.
+PIPELINE_HOPS = (
+    SPAN_DAEMON_ENQUEUE,
+    SPAN_AGGREGATOR_RECEIVE,
+    SPAN_STAGING_WRITE,
+    SPAN_MOVER_DEMUX,
+    SPAN_WAREHOUSE_LAND,
+)

@@ -1,0 +1,149 @@
+"""Span-based tracing across the delivery pipeline.
+
+One log entry's journey -- daemon enqueue → aggregator receive → staging
+write → log-mover demux → warehouse land -- is reconstructable from the
+spans recorded under its trace id. Trace ids ride on
+:class:`~repro.scribe.message.LogEntry` between the daemon and the
+aggregator; past the staging write the payload is opaque framed bytes, so
+the tracer also keeps a *path binding* (staging file path → trace ids)
+that the log mover uses to resume the trace when it demuxes the file.
+
+All timestamps are logical-clock milliseconds, so traces are fully
+deterministic under a seeded simulation. The default tracer is disabled
+(zero overhead beyond a flag check); enable it per process with
+:func:`enable_tracing` or install a private ``Tracer`` in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Span:
+    """One hop of one entry's journey through the pipeline."""
+
+    trace_id: str
+    name: str
+    start_ms: int
+    end_ms: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> int:
+        """The hop's duration in logical milliseconds."""
+        return self.end_ms - self.start_ms
+
+
+class Tracer:
+    """Records spans keyed by trace id; disabled tracers record nothing."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._spans: Dict[str, List[Span]] = {}
+        self._next_id = 0
+        # Propagation across the opaque-bytes boundary: staging/warehouse
+        # file path -> trace ids of the entries framed inside it.
+        self._path_ids: Dict[str, Tuple[str, ...]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (existing spans are kept)."""
+        self.enabled = False
+
+    def new_trace_id(self) -> str:
+        """A fresh process-unique trace id (deterministic counter)."""
+        self._next_id += 1
+        return f"t{self._next_id:08d}"
+
+    # -- recording -------------------------------------------------------
+    def record(self, trace_id: Optional[str], name: str, start_ms: int,
+               end_ms: Optional[int] = None, **attrs: object
+               ) -> Optional[Span]:
+        """Record one completed span; no-op when disabled or untraced."""
+        if not self.enabled or trace_id is None:
+            return None
+        span = Span(trace_id=trace_id, name=name, start_ms=start_ms,
+                    end_ms=start_ms if end_ms is None else end_ms,
+                    attrs=dict(attrs))
+        self._spans.setdefault(trace_id, []).append(span)
+        return span
+
+    def bind_path(self, path: str, trace_ids: Sequence[Optional[str]]
+                  ) -> None:
+        """Associate a framed file with the trace ids written into it."""
+        if not self.enabled:
+            return
+        ids = tuple(t for t in trace_ids if t is not None)
+        if ids:
+            self._path_ids[path] = ids
+
+    def ids_for_path(self, path: str) -> Tuple[str, ...]:
+        """Trace ids bound to a file path (empty when unknown/disabled)."""
+        return self._path_ids.get(path, ())
+
+    # -- queries ---------------------------------------------------------
+    def spans(self, trace_id: str) -> List[Span]:
+        """All spans of one trace, ordered by start time then recording."""
+        return sorted(self._spans.get(trace_id, []),
+                      key=lambda s: s.start_ms)
+
+    def trace_ids(self) -> List[str]:
+        """Every trace id with at least one span, sorted."""
+        return sorted(self._spans)
+
+    def hops(self, trace_id: str) -> List[str]:
+        """The ordered span names of one trace (the hop sequence)."""
+        return [span.name for span in self.spans(trace_id)]
+
+    def end_to_end_ms(self, trace_id: str) -> Optional[int]:
+        """First-start to last-end latency, or None for unknown traces."""
+        spans = self.spans(trace_id)
+        if not spans:
+            return None
+        return max(s.end_ms for s in spans) - min(s.start_ms for s in spans)
+
+    def last_hop(self, trace_id: str) -> Optional[str]:
+        """Name of the latest-ending span: where the entry got to.
+
+        For a lost entry this is its loss point -- the last stage that
+        saw it before the pipeline dropped or quarantined it.
+        """
+        spans = self._spans.get(trace_id)
+        if not spans:
+            return None
+        # Ties on end time go to the latest-recorded span: several hops
+        # can share one logical instant.
+        return max(enumerate(spans), key=lambda e: (e[1].end_ms, e[0]))[1].name
+
+    def __len__(self) -> int:
+        return sum(len(spans) for spans in self._spans.values())
+
+
+# -- the process-wide default tracer -------------------------------------
+_default_tracer = Tracer(enabled=False)
+
+
+def get_default_tracer() -> Tracer:
+    """The process-wide tracer the pipeline layers record into."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (tests, CLI); returns the old one."""
+    global _default_tracer
+    old = _default_tracer
+    _default_tracer = tracer
+    return old
+
+
+def enable_tracing() -> Tracer:
+    """Enable the default tracer and return it."""
+    tracer = get_default_tracer()
+    tracer.enable()
+    return tracer

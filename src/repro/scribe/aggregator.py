@@ -20,6 +20,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.clock import LogicalClock
 from repro.hdfs.layout import LogHour, hour_for_millis, staging_path
 from repro.hdfs.namenode import HDFS, HDFSUnavailableError
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_default_registry
+from repro.obs.trace import get_default_tracer
 from repro.scribe.discovery import register_aggregator
 from repro.scribe.message import CategoryRegistry, LogEntry
 from repro.scribe.zookeeper import Session, ZooKeeper
@@ -75,9 +78,14 @@ class ScribeAggregator:
         self._wal: List[Tuple[str, bytes]] = []
         # (category, hour) -> pending messages not yet rolled to HDFS.
         self._pending: Dict[Tuple[str, LogHour], List[bytes]] = {}
+        # Trace ids aligned index-for-index with each pending bucket, so
+        # the staging-write span lands on the right entries at roll time.
+        self._pending_traces: Dict[Tuple[str, LogHour],
+                                   List[Optional[str]]] = {}
         # Local-disk buffer used during HDFS outages: list of fully-encoded
-        # files waiting to be replayed.
-        self._disk_buffer: List[Tuple[str, bytes, str]] = []
+        # files (path, data, codec, trace ids) waiting to be replayed.
+        self._disk_buffer: List[
+            Tuple[str, bytes, str, Tuple[str, ...]]] = []
         self._part_counter = 0
         self.stats = AggregatorStats()
         self.alive = False
@@ -109,8 +117,12 @@ class ScribeAggregator:
         self.alive = False
         lost = sum(len(v) for v in self._pending.values())
         self._pending.clear()
+        self._pending_traces.clear()
         if not self._durable:
             self.stats.lost_in_crash += lost
+            get_default_registry().counter(
+                obs_names.AGGREGATOR_LOST_IN_CRASH,
+                aggregator=self.name, datacenter=self.datacenter).inc(lost)
 
     def shutdown(self) -> None:
         """Graceful stop: flush everything, then deregister."""
@@ -129,9 +141,17 @@ class ScribeAggregator:
         key = (entry.category, hour)
         bucket = self._pending.setdefault(key, [])
         bucket.append(entry.message)
+        self._pending_traces.setdefault(key, []).append(entry.trace_id)
         if self._durable:
             self._wal.append((entry.category, entry.message))
         self.stats.received += 1
+        get_default_registry().counter(
+            obs_names.AGGREGATOR_RECEIVED,
+            aggregator=self.name, datacenter=self.datacenter).inc()
+        get_default_tracer().record(
+            entry.trace_id, obs_names.SPAN_AGGREGATOR_RECEIVE,
+            self._clock.now(), aggregator=self.name,
+            datacenter=self.datacenter)
         config = self._categories.get(entry.category)
         if len(bucket) >= config.max_file_records:
             self._roll(key)
@@ -145,6 +165,8 @@ class ScribeAggregator:
 
     def _roll(self, key: Tuple[str, LogHour]) -> None:
         messages = self._pending.pop(key, [])
+        trace_ids = tuple(
+            t for t in self._pending_traces.pop(key, []) if t is not None)
         if not messages:
             return
         category, hour = key
@@ -155,13 +177,35 @@ class ScribeAggregator:
             self._staging.create(path, data, codec=config.codec)
         except HDFSUnavailableError:
             # §2: buffer on local disk in case of HDFS outages.
-            self._disk_buffer.append((path, data, config.codec))
+            self._disk_buffer.append((path, data, config.codec, trace_ids))
             self.stats.buffered_on_disk += len(messages)
+            get_default_registry().gauge(
+                obs_names.AGGREGATOR_DISK_BUFFERED,
+                aggregator=self.name,
+                datacenter=self.datacenter).inc(len(messages))
             return
-        self.stats.written += len(messages)
-        self.stats.files_written += 1
+        self._record_written(path, len(messages), trace_ids)
         if self._durable:
             self._trim_wal(category, messages)
+
+    def _record_written(self, path: str, num_messages: int,
+                        trace_ids: Tuple[str, ...]) -> None:
+        """Account one staging file landing (stats, metrics, spans)."""
+        self.stats.written += num_messages
+        self.stats.files_written += 1
+        registry = get_default_registry()
+        registry.counter(obs_names.AGGREGATOR_WRITTEN,
+                         aggregator=self.name,
+                         datacenter=self.datacenter).inc(num_messages)
+        registry.counter(obs_names.AGGREGATOR_FILES_WRITTEN,
+                         aggregator=self.name,
+                         datacenter=self.datacenter).inc()
+        tracer = get_default_tracer()
+        for trace_id in trace_ids:
+            tracer.record(trace_id, obs_names.SPAN_STAGING_WRITE,
+                          self._clock.now(), path=path,
+                          aggregator=self.name)
+        tracer.bind_path(path, trace_ids)
 
     def _trim_wal(self, category: str, messages: List[bytes]) -> None:
         """Drop rolled messages from the write-ahead buffer."""
@@ -177,17 +221,21 @@ class ScribeAggregator:
     def retry_disk_buffer(self) -> int:
         """Replay disk-buffered files; returns how many files landed."""
         landed = 0
-        remaining: List[Tuple[str, bytes, str]] = []
-        for path, data, codec in self._disk_buffer:
+        remaining: List[Tuple[str, bytes, str, Tuple[str, ...]]] = []
+        for path, data, codec, trace_ids in self._disk_buffer:
             try:
                 self._staging.create(path, data, codec=codec)
             except HDFSUnavailableError:
-                remaining.append((path, data, codec))
+                remaining.append((path, data, codec, trace_ids))
                 continue
             landed += 1
-            self.stats.files_written += 1
-            self.stats.written += len(decode_messages(data))
-            self.stats.buffered_on_disk -= len(decode_messages(data))
+            num_messages = len(decode_messages(data))
+            self._record_written(path, num_messages, trace_ids)
+            self.stats.buffered_on_disk -= num_messages
+            get_default_registry().gauge(
+                obs_names.AGGREGATOR_DISK_BUFFERED,
+                aggregator=self.name,
+                datacenter=self.datacenter).dec(num_messages)
         self._disk_buffer = remaining
         return landed
 

@@ -54,6 +54,7 @@ class Datacenter:
                 host=f"{name}-host-{i:04d}",
                 discovery=discovery,
                 resolve=self.aggregators.get,
+                clock=clock,
             )
             self.daemons.append(daemon)
 

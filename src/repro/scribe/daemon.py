@@ -6,13 +6,23 @@ aggregators in the same datacenter." On aggregator failure, daemons
 "simply check ZooKeeper again to find another live aggregator"; while no
 aggregator is reachable they buffer locally and replay on reconnect, which
 is what makes the pipeline "robust with respect to transient failures".
+
+Every daemon records delivery metrics into the process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` and, when tracing is enabled,
+stamps entries with a trace id and emits the ``daemon.enqueue`` span --
+the first hop of an entry's end-to-end trace.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Optional
 
+from repro.clock import LogicalClock
+from repro.obs import names
+from repro.obs.metrics import get_default_registry
+from repro.obs.trace import get_default_tracer
 from repro.scribe.aggregator import AggregatorDownError, ScribeAggregator
 from repro.scribe.discovery import AggregatorDiscovery
 from repro.scribe.message import LogEntry
@@ -20,12 +30,19 @@ from repro.scribe.message import LogEntry
 
 @dataclass
 class DaemonStats:
-    """Counters for tests and the delivery benchmark."""
+    """Counters for tests and the delivery benchmark.
+
+    ``buffered_total`` counts every enqueue ever made (monotone, like the
+    ``*_total`` registry counters) -- the *current* backlog depth is the
+    :attr:`ScribeDaemon.buffered` property, which falls as the buffer
+    drains. Dashboards wanting backlog must read the latter.
+    """
 
     accepted: int = 0
     sent: int = 0
-    buffered: int = 0
+    buffered_total: int = 0
     resent: int = 0
+    dropped: int = 0
     failovers: int = 0
 
 
@@ -35,40 +52,65 @@ class ScribeDaemon:
     ``resolve`` maps an aggregator name (from ZooKeeper) to the live
     aggregator object -- it models the network connection; a crashed
     aggregator either resolves to a dead object (send raises) or to None
-    (connection refused).
+    (connection refused).  ``clock`` timestamps trace spans; without one
+    spans are recorded at time 0.
     """
 
     def __init__(self, host: str, discovery: AggregatorDiscovery,
                  resolve: Callable[[str], Optional[ScribeAggregator]],
-                 max_buffer: Optional[int] = None) -> None:
+                 max_buffer: Optional[int] = None,
+                 clock: Optional[LogicalClock] = None) -> None:
         self.host = host
         self._discovery = discovery
         self._resolve = resolve
         self._connected: Optional[str] = None
-        self._buffer: List[LogEntry] = []
+        # Drop-oldest under overload is O(1) on a bounded deque (the old
+        # list.pop(0) was O(n) per drop).
+        self._buffer: Deque[LogEntry] = deque(maxlen=max_buffer)
         self._max_buffer = max_buffer
+        self._clock = clock
         self.stats = DaemonStats()
 
     # -- public API ----------------------------------------------------
     def log(self, entry: LogEntry) -> None:
         """Queue one entry for delivery, sending immediately if possible."""
+        tracer = get_default_tracer()
+        if tracer.enabled and entry.trace_id is None:
+            entry = replace(entry, trace_id=tracer.new_trace_id())
         self.stats.accepted += 1
-        if not self._send(entry):
-            self._enqueue(entry)
+        registry = get_default_registry()
+        registry.counter(names.DAEMON_ACCEPTED, host=self.host).inc()
+        # Record the span before sending so the hop order is right even
+        # though delivery happens within the same logical instant; the
+        # outcome attribute is filled in once it is known.
+        span = tracer.record(entry.trace_id, names.SPAN_DAEMON_ENQUEUE,
+                             self._now(), host=self.host, outcome="pending")
+        if self._send(entry):
+            outcome = "sent"
+        else:
+            outcome = self._enqueue(entry)
+        if span is not None:
+            span.attrs["outcome"] = outcome
 
     def flush(self) -> int:
         """Replay buffered entries; returns how many were delivered."""
         if not self._buffer:
             return 0
-        pending = self._buffer
-        self._buffer = []
+        pending = list(self._buffer)
+        self._buffer.clear()
+        registry = get_default_registry()
+        tracer = get_default_tracer()
         delivered = 0
         for entry in pending:
             if self._send(entry):
                 delivered += 1
                 self.stats.resent += 1
+                registry.counter(names.DAEMON_RESENT, host=self.host).inc()
+                tracer.record(entry.trace_id, names.SPAN_DAEMON_RESEND,
+                              self._now(), host=self.host)
             else:
                 self._buffer.append(entry)
+        self._update_depth_gauge()
         return delivered
 
     @property
@@ -82,6 +124,9 @@ class ScribeDaemon:
         return self._connected
 
     # -- internals -----------------------------------------------------
+    def _now(self) -> int:
+        return self._clock.now() if self._clock is not None else 0
+
     def _send(self, entry: LogEntry) -> bool:
         aggregator = self._current_aggregator()
         if aggregator is None:
@@ -93,7 +138,7 @@ class ScribeDaemon:
             # lookup and this send. Re-discover and retry once.
             failed = self._connected
             self._connected = None
-            self.stats.failovers += 1
+            self._count_failover()
             aggregator = self._current_aggregator(exclude=failed)
             if aggregator is None:
                 return False
@@ -103,6 +148,8 @@ class ScribeDaemon:
                 self._connected = None
                 return False
         self.stats.sent += 1
+        get_default_registry().counter(names.DAEMON_SENT,
+                                       host=self.host).inc()
         return True
 
     def _current_aggregator(
@@ -112,7 +159,7 @@ class ScribeDaemon:
             if aggregator is not None and aggregator.alive:
                 return aggregator
             self._connected = None
-            self.stats.failovers += 1
+            self._count_failover()
         name = self._discovery.pick(exclude=exclude)
         if name is None:
             return None
@@ -122,12 +169,29 @@ class ScribeDaemon:
         self._connected = name
         return aggregator
 
-    def _enqueue(self, entry: LogEntry) -> None:
-        if self._max_buffer is not None and len(self._buffer) >= self._max_buffer:
+    def _count_failover(self) -> None:
+        self.stats.failovers += 1
+        get_default_registry().counter(names.DAEMON_FAILOVERS,
+                                       host=self.host).inc()
+
+    def _enqueue(self, entry: LogEntry) -> str:
+        registry = get_default_registry()
+        dropped = (self._buffer.maxlen is not None
+                   and len(self._buffer) == self._buffer.maxlen)
+        if dropped:
             # Drop-oldest policy under overload; real Scribe drops too.
-            self._buffer.pop(0)
+            # deque(maxlen=...) evicts the head on append.
+            self.stats.dropped += 1
+            registry.counter(names.DAEMON_DROPPED, host=self.host).inc()
         self._buffer.append(entry)
-        self.stats.buffered += 1
+        self.stats.buffered_total += 1
+        registry.counter(names.DAEMON_BUFFERED, host=self.host).inc()
+        self._update_depth_gauge()
+        return "dropped_oldest" if dropped else "buffered"
+
+    def _update_depth_gauge(self) -> None:
+        get_default_registry().gauge(names.DAEMON_BUFFER_DEPTH,
+                                     host=self.host).set(len(self._buffer))
 
     def __repr__(self) -> str:
         return (f"ScribeDaemon(host={self.host!r}, "

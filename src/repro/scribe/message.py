@@ -8,8 +8,8 @@ other things, where the data is written."
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 _CATEGORY_RE = re.compile(r"^[a-z0-9_\-]+$")
 
@@ -30,10 +30,18 @@ def validate_category(category: str) -> str:
 
 @dataclass(frozen=True)
 class LogEntry:
-    """One message handed to the local Scribe daemon."""
+    """One message handed to the local Scribe daemon.
+
+    ``trace_id`` is observability context, not payload: when pipeline
+    tracing is enabled the daemon stamps untraced entries with a fresh id
+    and every stage records spans under it (see :mod:`repro.obs.trace`).
+    It is excluded from equality so traced and untraced copies of the
+    same (category, message) compare equal.
+    """
 
     category: str
     message: bytes
+    trace_id: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         validate_category(self.category)

@@ -169,7 +169,7 @@ class WarehouseSimulation:
         mover = LogMover(
             {name: dc.staging
              for name, dc in deployment.datacenters.items()},
-            self.warehouse)
+            self.warehouse, clock=deployment.clock)
         for day_offset in (0, 1):  # sessions spill past midnight
             year, month, day = self._shift(date, day_offset)
             for hour in hours_of_day(CLIENT_EVENTS_CATEGORY, year, month,

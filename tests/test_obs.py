@@ -1,0 +1,346 @@
+"""Observability layer: registry semantics, exposition, pipeline tracing."""
+
+import json
+
+import pytest
+
+from repro.analytics.dashboard import format_pipeline_health, pipeline_health
+from repro.clock import MILLIS_PER_HOUR
+from repro.hdfs.layout import hour_for_millis
+from repro.logmover.mover import LogMover
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.inputformats import InMemoryInputFormat
+from repro.mapreduce.job import MapReduceJob
+from repro.obs import names
+from repro.obs.metrics import (
+    MetricTypeError,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    Tracer,
+    get_default_tracer,
+    set_default_tracer,
+)
+from repro.scribe.cluster import ScribeDeployment
+from repro.scribe.message import LogEntry
+
+CATEGORY = "client_events"
+
+
+@pytest.fixture
+def fresh_obs():
+    """A private registry + enabled tracer installed as the defaults."""
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True)
+    old_registry = set_default_registry(registry)
+    old_tracer = set_default_tracer(tracer)
+    yield registry, tracer
+    set_default_registry(old_registry)
+    set_default_tracer(old_tracer)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("reqs_total").inc(-1)
+
+    def test_same_labels_same_series(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", host="a", dc="e").inc()
+        # label order must not matter
+        registry.counter("reqs_total", dc="e", host="a").inc()
+        registry.counter("reqs_total", host="b", dc="e").inc()
+        assert registry.counter("reqs_total", host="a", dc="e").value == 2
+        assert registry.total("reqs_total") == 3
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth")
+        with pytest.raises(MetricTypeError):
+            registry.counter("depth")
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        histogram = MetricsRegistry().histogram("lat_ms")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) == 50
+        assert histogram.percentile(0.95) == 95
+        assert histogram.percentile(0.99) == 99
+        assert histogram.percentile(0.0) == 1
+        assert histogram.percentile(1.0) == 100
+        assert histogram.count == 100
+        assert histogram.sum == 5050
+
+    def test_empty_percentile_is_none(self):
+        histogram = MetricsRegistry().histogram("lat_ms")
+        assert histogram.percentile(0.5) is None
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("lat_ms").percentile(1.5)
+
+    def test_merged_across_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_ms", stage="a").observe(1)
+        registry.histogram("lat_ms", stage="b").observe(3)
+        merged = registry.merged_histogram("lat_ms")
+        assert merged.count == 2
+        assert merged.sum == 4
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", handler="index").inc(3)
+        registry.gauge("depth").set(2)
+        histogram = registry.histogram("latency_ms", stage="end")
+        for value in range(1, 11):
+            histogram.observe(value)
+        return registry
+
+    def test_text_format_is_stable(self):
+        expected = (
+            "# TYPE depth gauge\n"
+            "depth 2\n"
+            "# TYPE latency_ms histogram\n"
+            'latency_ms{quantile="0.5",stage="end"} 5\n'
+            'latency_ms{quantile="0.95",stage="end"} 10\n'
+            'latency_ms{quantile="0.99",stage="end"} 10\n'
+            'latency_ms_sum{stage="end"} 55\n'
+            'latency_ms_count{stage="end"} 10\n'
+            "# TYPE requests_total counter\n"
+            'requests_total{handler="index"} 3\n'
+        )
+        assert self._populated().expose() == expected
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='a"b\\c\nd').inc()
+        line = registry.expose().splitlines()[1]
+        assert line == 'c_total{path="a\\"b\\\\c\\nd"} 1'
+
+    def test_snapshot_is_jsonable(self):
+        snapshot = self._populated().snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["depth"][0]["value"] == 2
+        assert round_tripped["latency_ms"][0]["p50"] == 5
+        assert round_tripped["latency_ms"][0]["count"] == 10
+        assert round_tripped["requests_total"][0]["labels"] == {
+            "handler": "index"}
+
+    def test_empty_registry_exposes_empty(self):
+        assert MetricsRegistry().expose() == ""
+
+
+class TestDefaults:
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        old = set_default_registry(mine)
+        try:
+            assert get_default_registry() is mine
+        finally:
+            set_default_registry(old)
+        assert get_default_registry() is old
+
+    def test_default_tracer_disabled_records_nothing(self):
+        tracer = Tracer()
+        assert tracer.record("t1", "hop", 0) is None
+        tracer.bind_path("/p", ("t1",))
+        assert tracer.ids_for_path("/p") == ()
+        assert len(tracer) == 0
+
+    def test_tracer_ids_are_deterministic(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.new_trace_id() == "t00000001"
+        assert tracer.new_trace_id() == "t00000002"
+
+
+def _run_pipeline_hour(registry, tracer, num_messages=3,
+                       advance_ms=1000, mover_delay_ms=MILLIS_PER_HOUR):
+    """Deliver a few entries daemon→warehouse; returns (deployment, mover)."""
+    deployment = ScribeDeployment(["east"], num_hosts=1, num_aggregators=1,
+                                  seed=3)
+    datacenter = deployment.datacenters["east"]
+    for i in range(num_messages):
+        datacenter.log_from(0, LogEntry(CATEGORY, b"m%d" % i))
+        deployment.clock.advance(advance_ms)
+    deployment.flush_all()
+    deployment.clock.advance(mover_delay_ms)
+    mover = LogMover({"east": datacenter.staging}, deployment.warehouse,
+                     clock=deployment.clock)
+    mover.move_hour(hour_for_millis(CATEGORY, 0), require_complete=False)
+    return deployment, mover
+
+
+class TestPipelineTracing:
+    def test_entry_trace_covers_every_hop(self, fresh_obs):
+        """One entry's spans cover daemon → aggregator → staging → mover
+        → warehouse, in pipeline order, under the logical clock."""
+        registry, tracer = fresh_obs
+        _run_pipeline_hour(registry, tracer, num_messages=3)
+
+        assert len(tracer.trace_ids()) == 3
+        first = tracer.trace_ids()[0]
+        assert tracer.hops(first) == list(names.PIPELINE_HOPS)
+
+        spans = tracer.spans(first)
+        by_name = {span.name: span for span in spans}
+        assert by_name[names.SPAN_DAEMON_ENQUEUE].attrs["outcome"] == "sent"
+        assert by_name[names.SPAN_AGGREGATOR_RECEIVE].attrs[
+            "aggregator"] == "east-agg-000"
+        staging_file = by_name[names.SPAN_STAGING_WRITE].attrs["path"]
+        assert by_name[names.SPAN_MOVER_DEMUX].attrs["path"] == staging_file
+        assert by_name[names.SPAN_WAREHOUSE_LAND].attrs[
+            "directory"].startswith("/logs/")
+        # Timestamps never go backwards along the pipeline.
+        starts = [span.start_ms for span in spans]
+        assert starts == sorted(starts)
+
+    def test_end_to_end_latency_observed(self, fresh_obs):
+        registry, tracer = fresh_obs
+        _run_pipeline_hour(registry, tracer, num_messages=3,
+                           advance_ms=1000)
+        first = tracer.trace_ids()[0]
+        # enqueued at t=0; landed after 3 s of traffic + the mover delay
+        assert tracer.end_to_end_ms(first) == 3000 + MILLIS_PER_HOUR
+        histogram = registry.merged_histogram(
+            names.PIPELINE_DELIVERY_LATENCY)
+        assert histogram.count == 3
+        assert histogram.percentile(0.99) == 3000 + MILLIS_PER_HOUR
+
+    def test_loss_point_when_aggregators_crash(self, fresh_obs):
+        registry, tracer = fresh_obs
+        deployment = ScribeDeployment(["east"], num_hosts=1,
+                                      num_aggregators=1, seed=3)
+        datacenter = deployment.datacenters["east"]
+        datacenter.log_from(0, LogEntry(CATEGORY, b"doomed"))
+        for name in list(datacenter.aggregators):
+            datacenter.crash_aggregator(name)
+        (trace_id,) = tracer.trace_ids()
+        # Entry reached the aggregator but was lost before the staging
+        # write: the trace's last hop is its loss point.
+        assert tracer.last_hop(trace_id) == names.SPAN_AGGREGATOR_RECEIVE
+        assert registry.total(names.AGGREGATOR_LOST_IN_CRASH) == 1
+
+    def test_untraced_entries_record_no_spans(self):
+        registry = MetricsRegistry()
+        old_registry = set_default_registry(registry)
+        try:
+            _run_pipeline_hour(registry, get_default_tracer())
+            assert len(get_default_tracer().trace_ids()) == 0
+            # ... but metrics still flow into the registry.
+            assert registry.total(names.DAEMON_SENT) == 3
+        finally:
+            set_default_registry(old_registry)
+
+
+class TestLayerMetrics:
+    def test_scribe_and_mover_counters(self, fresh_obs):
+        registry, __ = fresh_obs
+        _run_pipeline_hour(registry, __, num_messages=5)
+        assert registry.total(names.DAEMON_ACCEPTED) == 5
+        assert registry.total(names.DAEMON_SENT) == 5
+        assert registry.total(names.AGGREGATOR_RECEIVED) == 5
+        assert registry.total(names.AGGREGATOR_WRITTEN) == 5
+        assert registry.total(names.MOVER_MESSAGES_MOVED) == 5
+        assert registry.total(names.MOVER_HOURS_MOVED) == 1
+        assert registry.total(names.MOVER_BYTES_MOVED) > 0
+
+    def test_daemon_buffer_metrics_and_drop_oldest(self, fresh_obs):
+        registry, tracer = fresh_obs
+        from repro.scribe.daemon import ScribeDaemon
+        from repro.scribe.discovery import AggregatorDiscovery
+        from repro.scribe.zookeeper import ZooKeeper
+
+        daemon = ScribeDaemon("h", AggregatorDiscovery(ZooKeeper(), "dcx"),
+                              resolve=lambda name: None, max_buffer=3)
+        for i in range(5):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        assert daemon.buffered == 3
+        assert daemon.stats.buffered_total == 5
+        assert daemon.stats.dropped == 2
+        assert list(entry.message for entry in daemon._buffer) == [
+            b"m2", b"m3", b"m4"]
+        assert registry.total(names.DAEMON_BUFFER_DEPTH) == 3
+        assert registry.total(names.DAEMON_DROPPED) == 2
+
+    def test_mapreduce_bridge(self, fresh_obs):
+        registry, __ = fresh_obs
+
+        def mapper(record, ctx):
+            ctx.emit(record, 1)
+
+        def reducer(key, values, ctx):
+            ctx.emit(key, sum(values))
+
+        job = MapReduceJob(name="wc",
+                           input_format=InMemoryInputFormat(["a", "b", "a"]),
+                           mapper=mapper, reducer=reducer)
+        run_job(job)
+        assert registry.counter(names.MAPREDUCE_JOBS, job="wc").value == 1
+        assert registry.counter("mapreduce_io_map_input_records_total",
+                                job="wc").value == 3
+        wall = registry.merged_histogram(names.MAPREDUCE_JOB_WALL_TIME)
+        assert wall.count == 1
+
+    def test_oink_trace_metrics(self, fresh_obs):
+        registry, __ = fresh_obs
+        from repro.clock import LogicalClock, MILLIS_PER_HOUR as HOUR
+        from repro.oink.scheduler import Oink
+
+        clock = LogicalClock()
+        oink = Oink(clock)
+        oink.hourly("ok", lambda period: None)
+
+        def boom(period):
+            raise RuntimeError("nope")
+
+        oink.hourly("bad", boom)
+        clock.advance(HOUR)
+        oink.run_pending()
+        assert registry.counter(names.OINK_JOB_RUNS, job="ok",
+                                outcome="success").value == 1
+        assert registry.counter(names.OINK_JOB_RUNS, job="bad",
+                                outcome="failure").value == 1
+        assert registry.merged_histogram(names.OINK_JOB_DURATION).count == 2
+
+
+class TestPipelineHealthPanel:
+    def test_panel_from_registry(self, fresh_obs):
+        registry, __ = fresh_obs
+        _run_pipeline_hour(registry, __, num_messages=4)
+        health = pipeline_health(registry)
+        assert health.accepted == 4
+        assert health.landed == 4
+        assert health.delivery_rate == 1.0
+        assert health.backlog == 0
+        assert health.latency_count == 4
+        assert health.latency_p99_ms is not None
+        text = format_pipeline_health(health)
+        assert "delivery rate 100.00%" in text
+        assert "e2e latency" in text
+
+    def test_empty_panel(self):
+        health = pipeline_health(MetricsRegistry())
+        assert health.delivery_rate is None
+        assert "no traced deliveries" in format_pipeline_health(health)

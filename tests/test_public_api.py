@@ -21,7 +21,7 @@ class TestTopLevelExports:
         "repro.core", "repro.thriftlike", "repro.scribe", "repro.hdfs",
         "repro.logmover", "repro.mapreduce", "repro.pig", "repro.oink",
         "repro.legacy", "repro.analytics", "repro.nlp",
-        "repro.elephanttwin", "repro.workload",
+        "repro.elephanttwin", "repro.workload", "repro.obs",
     ])
     def test_subpackage_all_resolves(self, package):
         import importlib
