@@ -16,10 +16,12 @@ string manipulations after consulting the client event dictionary."
 
 from __future__ import annotations
 
+import operator
 import re
 from typing import Any, Optional, Tuple
 
 from repro.core.dictionary import EventDictionary
+from repro.core.names import EventPattern
 from repro.core.sequences import SessionSequenceRecord
 from repro.hdfs.namenode import HDFS
 from repro.mapreduce.jobtracker import JobTracker
@@ -70,19 +72,58 @@ def _sequence_of(record: Any) -> str:
 
 # ---------------------------------------------------------------------------
 # Script-shaped entry points, over sequences and (for comparison) raw logs.
+# All row functions are module-level callables (not lambdas) so these
+# queries can run on the engine's ``processes`` backend.
 # ---------------------------------------------------------------------------
+
+
+def _sum_bag(group: dict) -> int:
+    """SUM over a grouped relation's bag."""
+    return sum(group["bag"])
+
+
+class _MatchFlag:
+    """Row UDF: 1 if the event's name matches the pattern, else 0."""
+
+    def __init__(self, pattern: str) -> None:
+        self.matcher = EventPattern(pattern)
+
+    def __call__(self, event: Any) -> int:
+        return 1 if self.matcher.matches(event.event_name) else 0
+
+
+class _SessionMatchFlag:
+    """Row UDF: ((user, session), flag) pair for the sessions variant."""
+
+    def __init__(self, pattern: str) -> None:
+        self.matcher = EventPattern(pattern)
+
+    def __call__(self, event: Any) -> Tuple[Tuple[Any, Any], int]:
+        return ((event.user_id, event.session_id),
+                1 if self.matcher.matches(event.event_name) else 0)
+
+
+def _session_has_event(group: dict) -> int:
+    """1 if any event of the session's bag matched, else 0."""
+    return 1 if any(v for __, v in group["bag"]) else 0
+
+
+_first_of = operator.itemgetter(0)
 
 
 def count_events_sequences(warehouse: HDFS, date: Tuple[int, int, int],
                            pattern: str, dictionary: EventDictionary,
                            tracker: Optional[JobTracker] = None,
-                           mode: str = "sum") -> int:
+                           mode: str = "sum",
+                           backend: Optional[str] = None,
+                           max_workers: Optional[int] = None) -> int:
     """The paper's counting script over the session-sequence store.
 
     ``mode='sum'`` totals event occurrences; ``mode='sessions'`` is the
-    COUNT variant (sessions containing the event).
+    COUNT variant (sessions containing the event).  ``backend`` /
+    ``max_workers`` select the MapReduce execution backend.
     """
-    pig = PigServer(tracker)
+    pig = PigServer(tracker, backend=backend, max_workers=max_workers)
     if mode == "sum":
         udf: EvalFunc = CountClientEvents(pattern, dictionary)
     elif mode == "sessions":
@@ -95,7 +136,7 @@ def count_events_sequences(warehouse: HDFS, date: Tuple[int, int, int],
         .foreach(udf, description="CountClientEvents")
     )
     grouped = generated.group_all()
-    count = grouped.foreach(lambda g: sum(g["bag"]), description="SUM")
+    count = grouped.foreach(_sum_bag, description="SUM")
     out = count.dump()
     return out[0] if out else 0
 
@@ -103,39 +144,34 @@ def count_events_sequences(warehouse: HDFS, date: Tuple[int, int, int],
 def count_events_raw(warehouse: HDFS, date: Tuple[int, int, int],
                      pattern: str,
                      tracker: Optional[JobTracker] = None,
-                     mode: str = "sum") -> int:
+                     mode: str = "sum",
+                     backend: Optional[str] = None,
+                     max_workers: Optional[int] = None) -> int:
     """The same query over raw client event logs (the §4.1 baseline).
 
     Project onto the event name early, filter, then (for the sessions
     variant) group by session to dedupe -- the brute-force plan whose
     scans and group-bys session sequences were built to avoid.
+    ``backend`` / ``max_workers`` select the MapReduce execution backend
+    (the heavy raw-log scan is where ``"processes"`` pays off).
     """
-    from repro.core.names import EventPattern
-
-    pig = PigServer(tracker)
-    matcher = EventPattern(pattern)
+    pig = PigServer(tracker, backend=backend, max_workers=max_workers)
     year, month, day = date
     raw = pig.load(ClientEventsLoader(warehouse, year, month, day))
     if mode == "sum":
-        projected = raw.foreach(
-            lambda e: 1 if matcher.matches(e.event_name) else 0,
-            description="project_match",
-        )
-        out = projected.group_all().foreach(lambda g: sum(g["bag"]),
+        projected = raw.foreach(_MatchFlag(pattern),
+                                description="project_match")
+        out = projected.group_all().foreach(_sum_bag,
                                             description="SUM").dump()
         return out[0] if out else 0
     if mode == "sessions":
-        flagged = raw.foreach(
-            lambda e: ((e.user_id, e.session_id),
-                       1 if matcher.matches(e.event_name) else 0),
-            description="project_session_match",
-        )
+        flagged = raw.foreach(_SessionMatchFlag(pattern),
+                              description="project_session_match")
         per_session = (
-            flagged.group_by(lambda kv: kv[0], description="group_session")
-            .foreach(lambda g: 1 if any(v for __, v in g["bag"]) else 0,
-                     description="session_has_event")
+            flagged.group_by(_first_of, description="group_session")
+            .foreach(_session_has_event, description="session_has_event")
         )
-        out = per_session.group_all().foreach(lambda g: sum(g["bag"]),
+        out = per_session.group_all().foreach(_sum_bag,
                                               description="SUM").dump()
         return out[0] if out else 0
     raise ValueError(f"unknown mode {mode!r}")

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="e.g. '*:profile_click' or 'web:home:*'")
     count.add_argument("--sessions", action="store_true",
                        help="count sessions containing the event instead")
+    count.add_argument("--backend", default="serial",
+                       choices=("serial", "threads", "processes"),
+                       help="MapReduce execution backend (default serial)")
+    count.add_argument("--workers", type=int, default=None,
+                       help="worker count for parallel backends "
+                            "(default: min(8, cpu count))")
 
     funnel = add_parser("funnel", "run the signup funnel")
     funnel.add_argument("--client", default="web",
@@ -148,9 +154,13 @@ def cmd_count(args) -> int:
     t_seq, t_raw = JobTracker(), JobTracker()
     n_seq = count_events_sequences(simulation.warehouse, date,
                                    args.pattern, dictionary,
-                                   tracker=t_seq, mode=mode)
+                                   tracker=t_seq, mode=mode,
+                                   backend=args.backend,
+                                   max_workers=args.workers)
     n_raw = count_events_raw(simulation.warehouse, date, args.pattern,
-                             tracker=t_raw, mode=mode)
+                             tracker=t_raw, mode=mode,
+                             backend=args.backend,
+                             max_workers=args.workers)
     unit = "sessions containing" if args.sessions else "occurrences of"
     print(f"{n_seq} {unit} {args.pattern!r}")
     print(f"  sequences path: {t_seq.total_map_tasks()} mappers, "

@@ -115,7 +115,8 @@ class SessionSequenceBuilder:
 
     # -- the full job ----------------------------------------------------
     def run(self, year: int, month: int, day: int,
-            engine: str = "direct", tracker=None) -> BuildResult:
+            engine: str = "direct", tracker=None,
+            backend=None, max_workers=None) -> BuildResult:
         """Execute both passes and materialize all artifacts on HDFS.
 
         ``engine='direct'`` runs in-process (fast, default).
@@ -124,11 +125,15 @@ class SessionSequenceBuilder:
         count, the session reconstruction as the paper's "large group-by
         across potentially terabytes of data" -- so the build's own
         mapper/shuffle footprint is measurable via ``tracker``.
+        ``backend`` / ``max_workers`` pick the engine execution backend
+        (``"serial"``, ``"threads"``, ``"processes"``) for those jobs.
         """
         if engine not in ("direct", "mapreduce"):
             raise ValueError(f"unknown engine {engine!r}")
         if engine == "mapreduce":
-            return self._run_mapreduce(year, month, day, tracker)
+            return self._run_mapreduce(year, month, day, tracker,
+                                       backend=backend,
+                                       max_workers=max_workers)
         counts, samples = self.build_histogram(year, month, day)
         dictionary = EventDictionary.from_histogram(counts)
 
@@ -187,7 +192,7 @@ class SessionSequenceBuilder:
         )
 
     def _run_mapreduce(self, year: int, month: int, day: int,
-                       tracker) -> BuildResult:
+                       tracker, backend=None, max_workers=None) -> BuildResult:
         """Both passes as MR jobs (see :meth:`run`)."""
         from repro.hdfs.layout import day_path
         from repro.mapreduce.engine import run_job
@@ -201,16 +206,11 @@ class SessionSequenceBuilder:
 
         # Pass 1: histogram of event counts (with a combiner, as the
         # production Pig aggregation would run).
-        def count_mapper(event, ctx):
-            ctx.emit(event.event_name, 1)
-
-        def count_reducer(key, values, ctx):
-            ctx.emit(key, sum(values))
-
         histogram_result = run_job(MapReduceJob(
             name="ce_histogram", input_format=input_format,
-            mapper=count_mapper, reducer=count_reducer,
-            combiner=count_reducer), tracker)
+            mapper=_histogram_mapper, reducer=_sum_reducer,
+            combiner=_sum_reducer), tracker,
+            backend=backend, max_workers=max_workers)
         counts = Counter(dict(histogram_result.output))
         samples: Dict[str, List[dict]] = {}
         for event in self.iter_day_events(year, month, day):
@@ -233,27 +233,13 @@ class SessionSequenceBuilder:
         # Pass 2: the session group-by as an MR job. The mapper keys each
         # event by (user id, session id); the reducer sorts, splits on
         # the inactivity gap, and emits encoded records.
-        gap = self._sessionizer.inactivity_gap_ms
-
-        def session_mapper(event, ctx):
-            ctx.emit((event.user_id, event.session_id), event)
-
-        def session_reducer(key, events, ctx):
-            events.sort(key=lambda e: e.timestamp)
-            current = []
-            for event in events:
-                if current and (event.timestamp - current[-1].timestamp
-                                > gap):
-                    ctx.emit(key, _encode_session(key, current, dictionary))
-                    current = []
-                current.append(event)
-            if current:
-                ctx.emit(key, _encode_session(key, current, dictionary))
-
         session_result = run_job(MapReduceJob(
             name="session_sequences", input_format=input_format,
-            mapper=session_mapper, reducer=session_reducer,
-            num_reducers=8), tracker)
+            mapper=_session_mapper,
+            reducer=_SessionReducer(self._sessionizer.inactivity_gap_ms,
+                                    dictionary),
+            num_reducers=8), tracker,
+            backend=backend, max_workers=max_workers)
         records = sorted((record for __, record in session_result.output),
                          key=lambda r: (r.user_id, r.session_id))
 
@@ -307,6 +293,53 @@ class SessionSequenceBuilder:
             data = self._warehouse.open_bytes(path)
             for record in _SEQUENCE_FORMAT.iter_decode(data):
                 yield record
+
+
+# MR callables of the build passes. Module-level (or instances of
+# module-level classes) so the jobs are picklable and can run on the
+# engine's ``processes`` backend.
+
+
+def _histogram_mapper(event, ctx) -> None:
+    """Pass-1 mapper: one (event name, 1) pair per event."""
+    ctx.emit(event.event_name, 1)
+
+
+def _sum_reducer(key, values, ctx) -> None:
+    """Pass-1 reducer and combiner: sum the counts of one event name."""
+    ctx.emit(key, sum(values))
+
+
+def _session_mapper(event, ctx) -> None:
+    """Pass-2 mapper: key each event by (user id, session id)."""
+    ctx.emit((event.user_id, event.session_id), event)
+
+
+class _SessionReducer:
+    """Pass-2 reducer: sort one session's events, split on the
+    inactivity gap, and emit encoded sequence records."""
+
+    def __init__(self, gap_ms: int, dictionary: EventDictionary) -> None:
+        self.gap_ms = gap_ms
+        self.dictionary = dictionary
+
+    def __call__(self, key, events, ctx) -> None:
+        events.sort(key=_event_timestamp)
+        current: list = []
+        for event in events:
+            if current and (event.timestamp - current[-1].timestamp
+                            > self.gap_ms):
+                ctx.emit(key,
+                         _encode_session(key, current, self.dictionary))
+                current = []
+            current.append(event)
+        if current:
+            ctx.emit(key, _encode_session(key, current, self.dictionary))
+
+
+def _event_timestamp(event) -> int:
+    """Sort key of the pass-2 reducer (picklable, unlike a lambda)."""
+    return event.timestamp
 
 
 def _encode_session(key, events, dictionary) -> SessionSequenceRecord:

@@ -63,6 +63,11 @@ class EventDictionary:
                 raise DictionaryError("unicode code space exhausted")
             self._name_to_code[name] = code
             self._code_to_name[code] = name
+        # Precomputed name -> one-char symbol table: encode() is the hot
+        # loop of the daily build (one lookup per event), so it must not
+        # pay a chr() + method call per symbol.
+        self._name_to_symbol: Dict[str, str] = {
+            name: chr(code) for name, code in self._name_to_code.items()}
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -96,11 +101,19 @@ class EventDictionary:
 
     def symbol_for(self, name: str) -> str:
         """One-character unicode symbol for an event name."""
-        return chr(self.code_for(name))
+        try:
+            return self._name_to_symbol[name]
+        except KeyError as exc:
+            raise DictionaryError(f"unknown event name {name!r}") from exc
 
     def encode(self, names: Iterable[str]) -> str:
         """Encode a sequence of event names as a unicode string."""
-        return "".join(chr(self.code_for(name)) for name in names)
+        symbols = self._name_to_symbol
+        try:
+            return "".join([symbols[name] for name in names])
+        except KeyError as exc:
+            raise DictionaryError(
+                f"unknown event name {exc.args[0]!r}") from exc
 
     def decode(self, sequence: str) -> List[str]:
         """Decode a session sequence back to event names."""
@@ -144,6 +157,7 @@ class EventDictionary:
         dictionary = cls.__new__(cls)
         dictionary._name_to_code = dict(payload)
         dictionary._code_to_name = {c: n for n, c in payload.items()}
+        dictionary._name_to_symbol = {n: chr(c) for n, c in payload.items()}
         if len(dictionary._code_to_name) != len(dictionary._name_to_code):
             raise DictionaryError("mapping is not bijective")
         return dictionary

@@ -1,5 +1,13 @@
-"""Simulated Hadoop MapReduce: jobs, splits, engine, jobtracker."""
+"""Simulated Hadoop MapReduce: jobs, splits, engine, backends, jobtracker."""
 
+from repro.mapreduce.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    prepare_backend,
+)
 from repro.mapreduce.counters import (
     Counters,
     GROUP_IO,
@@ -23,8 +31,22 @@ from repro.mapreduce.inputformats import (
 from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
 from repro.mapreduce.jobtracker import CostModel, JobRun, JobTracker
 from repro.mapreduce.engine import TaskFailedError, run_job, sizeof
+from repro.mapreduce.partition import (
+    serialize_key,
+    stable_hash,
+    stable_partition,
+)
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "prepare_backend",
+    "serialize_key",
+    "stable_hash",
+    "stable_partition",
     "Counters",
     "GROUP_IO",
     "GROUP_TASK",

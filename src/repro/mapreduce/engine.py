@@ -1,121 +1,119 @@
 """The local MapReduce execution engine.
 
 Executes jobs faithfully to the Hadoop dataflow -- map over splits,
-per-task combine, hash-partition, sort, reduce -- with exact accounting of
-records, bytes scanned, and shuffle volume. Execution is sequential (this
-is a simulator, not a cluster); the :class:`CostModel` translates counts
-into the parallel latency a real cluster would see.
+per-task combine, stable hash-partition, sort, reduce -- with exact
+accounting of records, bytes scanned, and shuffle volume.  Execution is
+delegated to a pluggable backend (:mod:`repro.mapreduce.backends`):
+``serial`` runs on the calling thread, ``threads`` and ``processes``
+fan tasks out over :mod:`concurrent.futures` pools.  Per-task
+:class:`Counters` are merged deterministically at each phase barrier, so
+counter totals, tracker accounting, and output are identical across
+backends; the :class:`CostModel` still translates counts into the
+parallel latency a real cluster would see.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.obs import names as obs_names
 from repro.obs.metrics import get_default_registry
-from repro.mapreduce.counters import (
-    Counters,
-    GROUP_IO,
-    GROUP_TASK,
-    INPUT_BYTES,
-    INPUT_RECORDS,
-    MAP_TASKS,
-    OUTPUT_RECORDS,
-    REDUCE_INPUT_GROUPS,
-    REDUCE_OUTPUT_RECORDS,
-    REDUCE_TASKS,
-    SHUFFLE_BYTES,
-    SHUFFLE_RECORDS,
+from repro.mapreduce.backends import (  # noqa: F401 - re-exported API
+    BACKEND_NAMES,
+    ExecutionBackend,
+    MapTaskResult,
+    ProcessPoolBackend,
+    ReduceTaskResult,
+    SerialBackend,
+    TaskFailedError,
+    ThreadPoolBackend,
+    prepare_backend,
+    sizeof,
 )
-from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobResult, MapReduceJob
 from repro.mapreduce.jobtracker import JobTracker
 
 
-def sizeof(value: Any) -> int:
-    """Approximate serialized size of a key or value, in bytes."""
-    if isinstance(value, bytes):
-        return len(value)
-    if isinstance(value, str):
-        return len(value.encode("utf-8"))
-    if isinstance(value, bool):
-        return 1
-    if isinstance(value, int):
-        return 8
-    if isinstance(value, float):
-        return 8
-    if value is None:
-        return 1
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return 4 + sum(sizeof(v) for v in value)
-    if isinstance(value, dict):
-        return 4 + sum(sizeof(k) + sizeof(v) for k, v in value.items())
-    if hasattr(value, "to_bytes") and callable(value.to_bytes):
-        try:
-            return len(value.to_bytes())
-        except TypeError:
-            pass
-    return 16  # opaque object
-
-
 def run_job(job: MapReduceJob,
-            tracker: Optional[JobTracker] = None) -> JobResult:
+            tracker: Optional[JobTracker] = None,
+            backend: Optional[str] = None,
+            max_workers: Optional[int] = None) -> JobResult:
     """Execute one job and return its output and counters.
+
+    ``backend`` selects how tasks execute: ``"serial"`` (default),
+    ``"threads"``, or ``"processes"``; ``max_workers`` sizes the pool.
+    When ``backend`` is None the tracker's configured default applies.
+    Output, counter totals, and tracker accounting are identical across
+    backends: per-task counters merge at the phase barrier in task
+    order, and partitioning is content-stable
+    (:mod:`repro.mapreduce.partition`), not ``hash()``-salted.
 
     Besides the returned :class:`Counters`, every run is bridged into the
     process-wide metrics registry: the job's counters become
-    ``mapreduce_<group>_<name>_total{job=...}`` counters and its real
-    execution time lands in the ``mapreduce_job_wall_time_seconds``
-    histogram.
+    ``mapreduce_<group>_<name>_total{job=...}`` counters, its real
+    execution time lands in ``mapreduce_job_wall_time_seconds``, each
+    task's execution and queue-wait times land in
+    ``mapreduce_task_wall_time_seconds`` / ``_queue_wait_seconds``
+    (labelled by phase), and ``mapreduce_workers`` gauges the pool size.
     """
     started = time.perf_counter()
+    if tracker is not None:
+        if backend is None:
+            backend = tracker.backend
+        if max_workers is None:
+            max_workers = tracker.max_workers
     counters = Counters()
     splits = job.input_format.splits()
-    partitions: List[List[Tuple[Any, Any]]] = [
-        [] for __ in range(job.num_reducers)
-    ]
-
-    # -- map phase ---------------------------------------------------------
-    for split in splits:
-        emitted = _run_map_task(job, split, counters)
-
-        if job.reducer is None:
-            partitions[0].extend(emitted)
-            continue
-
-        if job.combiner is not None:
-            emitted = _combine(job, emitted, counters)
-
-        for key, value in emitted:
-            counters.increment(GROUP_IO, SHUFFLE_RECORDS)
-            counters.increment(GROUP_IO, SHUFFLE_BYTES,
-                               sizeof(key) + sizeof(value))
-            partitions[hash(key) % job.num_reducers].append((key, value))
-
-    # -- reduce phase ------------------------------------------------------
+    registry = get_default_registry()
     output: List[Tuple[Any, Any]] = []
-    if job.reducer is None:
-        output = partitions[0]
-    else:
-        for partition in partitions:
-            if not partition and len(splits) == 0:
-                continue
-            counters.increment(GROUP_TASK, REDUCE_TASKS)
-            ctx = TaskContext(counters)
-            grouped = _group_sorted(partition)
-            counters.increment(GROUP_IO, REDUCE_INPUT_GROUPS, len(grouped))
-            for key, values in grouped:
-                job.reducer(key, values, ctx)
-            reduced = ctx.drain()
-            counters.increment(GROUP_IO, REDUCE_OUTPUT_RECORDS, len(reduced))
-            output.extend(reduced)
 
+    with prepare_backend(job, backend, max_workers) as engine_backend:
+        registry.gauge(obs_names.MAPREDUCE_WORKERS, job=job.name,
+                       backend=engine_backend.name).set(engine_backend.workers)
+
+        # -- map phase: one task per split, merged in split order ---------
+        num_partitions = 1 if job.reducer is None else job.num_reducers
+        partitions: List[List[Tuple[Any, Any]]] = [
+            [] for __ in range(num_partitions)
+        ]
+        for result in engine_backend.run_map_phase(job, splits):
+            counters.merge(result.counters)
+            for partition, pairs in zip(partitions, result.partitions):
+                partition.extend(pairs)
+            _observe_task(registry, job.name, "map", result)
+
+        # -- reduce phase: one task per partition, merged in order --------
+        if job.reducer is None:
+            output = partitions[0]
+        else:
+            # With zero input splits there is nothing to reduce; with any
+            # input, even empty partitions run a (counted) reduce task,
+            # exactly as the serial engine always has.
+            units = [(i, partition)
+                     for i, partition in enumerate(partitions)
+                     if splits or partition]
+            for result in engine_backend.run_reduce_phase(job, units):
+                counters.merge(result.counters)
+                output.extend(result.output)
+                _observe_task(registry, job.name, "reduce", result)
+
+    wall_time_s = time.perf_counter() - started
     if tracker is not None:
-        tracker.record(job.name, counters)
-    _bridge_counters(job.name, counters,
-                     time.perf_counter() - started)
+        tracker.record(job.name, counters, backend=engine_backend.name,
+                       workers=engine_backend.workers,
+                       wall_time_s=wall_time_s)
+    _bridge_counters(job.name, counters, wall_time_s)
     return JobResult(name=job.name, output=output, counters=counters)
+
+
+def _observe_task(registry, job_name: str, phase: str, result) -> None:
+    """Record one task's wall time and queue wait into the registry."""
+    registry.histogram(obs_names.MAPREDUCE_TASK_WALL_TIME, job=job_name,
+                       phase=phase).observe(result.wall_time_s)
+    registry.histogram(obs_names.MAPREDUCE_TASK_QUEUE_WAIT, job=job_name,
+                       phase=phase).observe(result.queue_wait_s)
 
 
 def _bridge_counters(job_name: str, counters: Counters,
@@ -129,54 +127,3 @@ def _bridge_counters(job_name: str, counters: Counters,
         registry.counter(
             f"{obs_names.MAPREDUCE_COUNTER_PREFIX}{group}_{name}_total",
             job=job_name).inc(value)
-
-
-class TaskFailedError(Exception):
-    """A task exhausted its attempts; the job fails (Hadoop semantics)."""
-
-
-def _run_map_task(job: MapReduceJob, split: Any,
-                  counters: Counters) -> List[Tuple[Any, Any]]:
-    """Execute one map task with Hadoop-style retry on failure.
-
-    A failed attempt's partial output is discarded (tasks are idempotent
-    units); only the successful attempt's records and emissions count.
-    """
-    last_error: Optional[Exception] = None
-    for attempt in range(job.max_task_attempts):
-        counters.increment(GROUP_TASK, MAP_TASKS)
-        counters.increment(GROUP_IO, INPUT_BYTES, split.length_bytes)
-        ctx = TaskContext(counters)
-        try:
-            records = job.input_format.read_split(split)
-            for record in records:
-                job.mapper(record, ctx)
-        except Exception as exc:  # noqa: BLE001 - any task error retries
-            counters.increment(GROUP_TASK, "map_task_failures")
-            last_error = exc
-            continue
-        counters.increment(GROUP_IO, INPUT_RECORDS, len(records))
-        emitted = ctx.drain()
-        counters.increment(GROUP_IO, OUTPUT_RECORDS, len(emitted))
-        return emitted
-    raise TaskFailedError(
-        f"map task over {split!r} failed {job.max_task_attempts} "
-        f"attempt(s): {last_error}"
-    ) from last_error
-
-
-def _combine(job: MapReduceJob, emitted: List[Tuple[Any, Any]],
-             counters: Counters) -> List[Tuple[Any, Any]]:
-    """Run the combiner over one map task's output."""
-    ctx = TaskContext(counters)
-    for key, values in _group_sorted(emitted):
-        job.combiner(key, values, ctx)
-    return ctx.drain()
-
-
-def _group_sorted(pairs: List[Tuple[Any, Any]]) -> List[Tuple[Any, List[Any]]]:
-    """Group pairs by key in sorted key order (the shuffle's sort-merge)."""
-    grouped: Dict[Any, List[Any]] = defaultdict(list)
-    for key, value in pairs:
-        grouped[key].append(value)
-    return sorted(grouped.items(), key=lambda kv: repr(kv[0]))

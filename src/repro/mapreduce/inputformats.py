@@ -87,6 +87,14 @@ class FileInputFormat:
             self._cache[path] = self.decode(self.fs.open_bytes(path))
         return self._cache[path]
 
+    def __getstate__(self) -> dict:
+        # Decoded-record caches stay process-local: shipping them to
+        # pool workers would dwarf the job payload, and workers rebuild
+        # exactly the entries their splits touch.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
 
 class InMemoryInputFormat:
     """Splits over already-materialized records (for tests and tools)."""

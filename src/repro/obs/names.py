@@ -48,6 +48,9 @@ PIPELINE_DELIVERY_LATENCY = "pipeline_delivery_latency_ms"
 MAPREDUCE_JOBS = "mapreduce_jobs_total"
 MAPREDUCE_JOB_WALL_TIME = "mapreduce_job_wall_time_seconds"
 MAPREDUCE_COUNTER_PREFIX = "mapreduce_"
+MAPREDUCE_TASK_WALL_TIME = "mapreduce_task_wall_time_seconds"
+MAPREDUCE_TASK_QUEUE_WAIT = "mapreduce_task_queue_wait_seconds"
+MAPREDUCE_WORKERS = "mapreduce_workers"
 
 # -- oink ----------------------------------------------------------------
 OINK_JOB_RUNS = "oink_job_runs_total"

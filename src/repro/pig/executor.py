@@ -12,11 +12,16 @@ Compilation follows Pig's MR compiler shape:
 Intermediate relations feed the next job through
 :class:`InMemoryInputFormat` (standing in for the temporary HDFS files
 real Pig writes between jobs).
+
+Mappers and reducers are module-level callables (not closures) so that
+compiled jobs can run on the engine's ``processes`` backend whenever the
+script's own row functions are picklable; scripts built from lambdas
+still work everywhere else and simply fall back to threads.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.mapreduce.engine import run_job
 from repro.mapreduce.inputformats import InMemoryInputFormat
@@ -43,12 +48,25 @@ class PlanError(Exception):
 
 
 class PlanExecutor:
-    """Executes one logical plan against the MR engine."""
+    """Executes one logical plan against the MR engine.
+
+    ``backend`` / ``max_workers`` select the engine execution backend
+    for every compiled job; None defers to the tracker's default.
+    """
 
     def __init__(self, tracker: JobTracker,
-                 intermediate_records_per_split: int = 10_000) -> None:
+                 intermediate_records_per_split: int = 10_000,
+                 backend: Optional[str] = None,
+                 max_workers: Optional[int] = None) -> None:
         self._tracker = tracker
         self._per_split = intermediate_records_per_split
+        self._backend = backend
+        self._max_workers = max_workers
+
+    def _run_job(self, job: MapReduceJob):
+        """Run one compiled job on the configured backend."""
+        return run_job(job, self._tracker, backend=self._backend,
+                       max_workers=self._max_workers)
 
     # -- public -----------------------------------------------------------
     def execute(self, node: Any) -> List[Any]:
@@ -88,16 +106,16 @@ class PlanExecutor:
                                      reducer=_group_reducer), []
 
         if isinstance(node, GroupAllNode):
-            return self._run_shuffle(node, key_fn=lambda row: "all",
+            return self._run_shuffle(node, key_fn=_key_all,
                                      reducer=_group_reducer,
                                      num_reducers=1), []
 
         if isinstance(node, DistinctNode):
-            return self._run_shuffle(node, key_fn=lambda row: row,
+            return self._run_shuffle(node, key_fn=_identity,
                                      reducer=_distinct_reducer), []
 
         if isinstance(node, OrderNode):
-            rows = self._run_shuffle(node, key_fn=lambda row: 0,
+            rows = self._run_shuffle(node, key_fn=_key_zero,
                                      reducer=_collect_reducer,
                                      num_reducers=1)
             return sorted(rows, key=node.key_fn, reverse=node.reverse), []
@@ -119,45 +137,23 @@ class PlanExecutor:
     def _run_shuffle(self, node: Any, key_fn: Callable[[Any], Any],
                      reducer: Callable, num_reducers: int = 4) -> List[Any]:
         input_format, map_ops = self._input_for(node.child)
-        transform = _fuse(map_ops)
-
-        def mapper(record: Any, ctx: TaskContext) -> None:
-            for row in transform(record):
-                ctx.emit(key_fn(row), row)
-
+        mapper = _ShuffleMapper(_FusedTransform(map_ops), key_fn)
         job = MapReduceJob(name=node.description, input_format=input_format,
                            mapper=mapper, reducer=reducer,
                            num_reducers=num_reducers)
-        result = run_job(job, self._tracker)
+        result = self._run_job(job)
         return [value for __, value in result.output]
 
     def _run_join(self, node: JoinNode) -> List[Any]:
         left_format, left_ops = self._input_for(node.left)
         right_format, right_ops = self._input_for(node.right)
-        left_transform = _fuse(left_ops)
-        right_transform = _fuse(right_ops)
         union = _TaggedUnionInputFormat(left_format, right_format)
-
-        def mapper(tagged: Tuple[int, Any], ctx: TaskContext) -> None:
-            tag, record = tagged
-            if tag == 0:
-                for row in left_transform(record):
-                    ctx.emit(node.left_key(row), (0, row))
-            else:
-                for row in right_transform(record):
-                    ctx.emit(node.right_key(row), (1, row))
-
-        def reducer(key: Any, values: List[Tuple[int, Any]],
-                    ctx: TaskContext) -> None:
-            lefts = [row for tag, row in values if tag == 0]
-            rights = [row for tag, row in values if tag == 1]
-            for lrow in lefts:
-                for rrow in rights:
-                    ctx.emit(key, {"key": key, "left": lrow, "right": rrow})
-
+        mapper = _JoinMapper(_FusedTransform(left_ops),
+                             _FusedTransform(right_ops),
+                             node.left_key, node.right_key)
         job = MapReduceJob(name=node.description, input_format=union,
-                           mapper=mapper, reducer=reducer)
-        result = run_job(job, self._tracker)
+                           mapper=mapper, reducer=_join_reducer)
+        result = self._run_job(job)
         return [value for __, value in result.output]
 
     def _run_map_only(self, name: str, rows: List[Any],
@@ -168,15 +164,10 @@ class PlanExecutor:
         else:
             input_format = InMemoryInputFormat(rows, self._per_split)
             map_ops = pending
-        transform = _fuse(map_ops)
-
-        def mapper(record: Any, ctx: TaskContext) -> None:
-            for row in transform(record):
-                ctx.emit(None, row)
-
+        mapper = _MapOnlyMapper(_FusedTransform(map_ops))
         job = MapReduceJob(name=name, input_format=input_format,
                            mapper=mapper, reducer=None)
-        result = run_job(job, self._tracker)
+        result = self._run_job(job)
         return [value for __, value in result.output]
 
 
@@ -205,12 +196,19 @@ class _TaggedUnionInputFormat:
         return [(tagged.tag, r) for r in side.read_split(tagged.split)]
 
 
-def _fuse(map_ops: List[Any]) -> Callable[[Any], List[Any]]:
-    """Fuse a chain of map-side operators into one record transform."""
+class _FusedTransform:
+    """Picklable fusion of a map-side operator chain into one transform.
 
-    def transform(record: Any) -> List[Any]:
+    (A class rather than a closure so compiled mappers can cross process
+    boundaries when the plan's row functions are themselves picklable.)
+    """
+
+    def __init__(self, map_ops: List[Any]) -> None:
+        self.map_ops = list(map_ops)
+
+    def __call__(self, record: Any) -> List[Any]:
         rows = [record]
-        for op in map_ops:
+        for op in self.map_ops:
             if isinstance(op, ForeachNode):
                 rows = [op.fn(row) for row in rows]
             elif isinstance(op, FlattenNode):
@@ -221,7 +219,75 @@ def _fuse(map_ops: List[Any]) -> Callable[[Any], List[Any]]:
                 raise PlanError(f"non-fusable op in pipeline: {op!r}")
         return rows
 
-    return transform
+
+class _ShuffleMapper:
+    """Mapper of a shuffle job: transform each record, emit keyed rows."""
+
+    def __init__(self, transform: _FusedTransform,
+                 key_fn: Callable[[Any], Any]) -> None:
+        self.transform = transform
+        self.key_fn = key_fn
+
+    def __call__(self, record: Any, ctx: TaskContext) -> None:
+        for row in self.transform(record):
+            ctx.emit(self.key_fn(row), row)
+
+
+class _JoinMapper:
+    """Mapper of a join job: key each side's rows, tagged by side."""
+
+    def __init__(self, left_transform: _FusedTransform,
+                 right_transform: _FusedTransform,
+                 left_key: Callable[[Any], Any],
+                 right_key: Callable[[Any], Any]) -> None:
+        self.left_transform = left_transform
+        self.right_transform = right_transform
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def __call__(self, tagged: Tuple[int, Any], ctx: TaskContext) -> None:
+        tag, record = tagged
+        if tag == 0:
+            for row in self.left_transform(record):
+                ctx.emit(self.left_key(row), (0, row))
+        else:
+            for row in self.right_transform(record):
+                ctx.emit(self.right_key(row), (1, row))
+
+
+class _MapOnlyMapper:
+    """Mapper of a trailing map-only job: transform and emit rows."""
+
+    def __init__(self, transform: _FusedTransform) -> None:
+        self.transform = transform
+
+    def __call__(self, record: Any, ctx: TaskContext) -> None:
+        for row in self.transform(record):
+            ctx.emit(None, row)
+
+
+def _key_all(row: Any) -> str:
+    """GROUP ALL key function: every row to the single group."""
+    return "all"
+
+
+def _identity(row: Any) -> Any:
+    """DISTINCT key function: the row is its own key."""
+    return row
+
+
+def _key_zero(row: Any) -> int:
+    """ORDER key function: one partition collects everything."""
+    return 0
+
+
+def _join_reducer(key: Any, values: List[Tuple[int, Any]],
+                  ctx: TaskContext) -> None:
+    lefts = [row for tag, row in values if tag == 0]
+    rights = [row for tag, row in values if tag == 1]
+    for lrow in lefts:
+        for rrow in rights:
+            ctx.emit(key, {"key": key, "left": lrow, "right": rrow})
 
 
 def _group_reducer(key: Any, values: List[Any], ctx: TaskContext) -> None:
