@@ -113,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the JSON snapshot instead of the "
                           "Prometheus-style exposition")
 
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection soak asserting zero-loss/"
+                      "zero-duplicate delivery through the Scribe path")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="storm seed (default 0); identical seeds "
+                            "inject identical faults")
+    chaos.add_argument("--hours", type=int, default=2,
+                       help="simulated hours of traffic (default 2)")
+
     add_parser("report", "one-day pipeline summary (quick look)")
     return parser
 
@@ -301,6 +310,21 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``chaos``: run the delivery-guarantee soak; exit 1 on violations.
+
+    A fresh registry isolates the run's metrics (faults injected, retry
+    attempts, duplicates skipped) from anything else in the process.
+    """
+    from repro.faults.chaos import run_chaos
+    from repro.obs import MetricsRegistry, set_default_registry
+
+    set_default_registry(MetricsRegistry())
+    report = run_chaos(args.seed, hours=args.hours)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     """``report``: one-day pipeline summary."""
     simulation = _one_day(args)
@@ -326,6 +350,7 @@ _COMMANDS = {
     "catalog": cmd_catalog,
     "script": cmd_script,
     "obs": cmd_obs,
+    "chaos": cmd_chaos,
     "report": cmd_report,
 }
 

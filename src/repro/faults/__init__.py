@@ -1,0 +1,55 @@
+"""Deterministic fault injection and retry policies.
+
+The pipeline's delivery guarantees (§2's "robust with respect to
+transient failures") are only claims until something breaks on purpose.
+This package provides the machinery to break things reproducibly:
+
+- :mod:`repro.faults.injector` -- a seeded :class:`FaultInjector`
+  evaluating a :class:`FaultPlan` of rules against named fault sites
+  threaded through HDFS, the aggregators, the daemons, ZooKeeper, and
+  the log mover;
+- :mod:`repro.faults.retry` -- the shared :class:`RetryPolicy`
+  (bounded exponential backoff with deterministic jitter on the logical
+  clock) used by daemon sends, aggregator disk-buffer replay, and the
+  log mover;
+- :mod:`repro.faults.chaos` -- the end-to-end chaos soak behind
+  ``repro chaos``, asserting zero-loss/zero-duplicate conservation
+  under a seeded storm of outages, crashes, and lost acks.
+"""
+
+from repro.faults.injector import (
+    KIND_ACK_LOST,
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_EXPIRE_SESSION,
+    KIND_UNAVAILABLE,
+    VALID_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    fault_point,
+    get_default_injector,
+    set_default_injector,
+)
+from repro.faults.retry import RetryExhaustedError, RetryPolicy
+
+__all__ = [
+    "KIND_ACK_LOST",
+    "KIND_CRASH",
+    "KIND_ERROR",
+    "KIND_EXPIRE_SESSION",
+    "KIND_UNAVAILABLE",
+    "VALID_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "fault_point",
+    "get_default_injector",
+    "set_default_injector",
+    "RetryExhaustedError",
+    "RetryPolicy",
+]

@@ -1,0 +1,359 @@
+"""The chaos soak: prove zero-loss/zero-duplicate delivery under faults.
+
+``repro chaos --seed S --hours N`` drives a two-datacenter Scribe
+deployment through N hours of traffic while a seeded
+:class:`~repro.faults.injector.FaultPlan` injects the §2 failure
+catalogue -- a staging-HDFS outage window, an aggregator crash with a
+durable write-ahead buffer, lost sends, lost *acks* (the duplicate
+generator), ZooKeeper session expiries, and log-mover crashes between
+its delete/rename/cleanup steps. At the end it audits conservation:
+
+    accepted == landed + dropped + quarantined
+
+with *landed* counted two independent ways -- unique payloads actually
+readable in the warehouse, and the mover's committed ``(origin, seq)``
+ledger checked against every daemon's issued sequence range. Identical
+seeds give identical storms, so a failing run is a replayable bug
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.faults.injector import (
+    KIND_ACK_LOST,
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_EXPIRE_SESSION,
+    KIND_UNAVAILABLE,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    get_default_injector,
+    set_default_injector,
+)
+from repro.faults.retry import RetryPolicy
+from repro.hdfs.layout import LOGS_ROOT, hour_for_millis
+from repro.logmover.mover import LogMover
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_default_registry
+from repro.scribe.aggregator import decode_messages
+from repro.scribe.cluster import ScribeDeployment
+from repro.scribe.message import CategoryConfig, LogEntry, decode_envelope
+
+#: The category the soak logs under.
+CHAOS_CATEGORY = "chaos_events"
+
+HOUR_MS = 3_600_000
+MINUTE_MS = 60_000
+
+#: Traffic slices per simulated hour.
+SLICES_PER_HOUR = 12
+#: Entries each daemon logs per slice.
+ENTRIES_PER_SLICE = 4
+#: How many times a crashed hour move is restarted before giving up.
+MAX_MOVE_RESTARTS = 5
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos soak, with the conservation audit."""
+
+    seed: int
+    hours: int
+    accepted: int = 0
+    landed: int = 0
+    dropped: int = 0
+    quarantined: int = 0
+    duplicates_skipped: int = 0
+    faults_injected: int = 0
+    retry_attempts: int = 0
+    mover_restarts: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every conservation and coverage check held."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """A one-screen human-readable account of the run."""
+        lines = [
+            f"chaos soak: seed={self.seed} hours={self.hours} "
+            f"{'PASS' if self.ok else 'FAIL'}",
+            f"  accepted={self.accepted} landed={self.landed} "
+            f"dropped={self.dropped} quarantined={self.quarantined}",
+            f"  faults_injected={self.faults_injected} "
+            f"retry_attempts={self.retry_attempts} "
+            f"duplicates_skipped={self.duplicates_skipped} "
+            f"mover_restarts={self.mover_restarts}",
+        ]
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+def default_chaos_plan(seed: int, hours: int) -> FaultPlan:
+    """The standard storm for an N-hour soak.
+
+    Deterministic must-haves (the acceptance faults) are armed with
+    probability 1 and bounded fire counts: one staging-HDFS outage
+    window, one aggregator crash, and one mover crash at each of the two
+    crash sites. Probabilistic noise -- flaky sends, lost acks, session
+    expiries -- is windowed to end well before each hour boundary so the
+    boundary drain always runs fault-free. ``seed`` only shifts *which*
+    probabilistic calls fire (via the injector's RNG); the plan's shape
+    is the same for every seed.
+    """
+    plan = FaultPlan()
+    # -- deterministic acceptance faults (hour 0) -----------------------
+    plan.add("hdfs.staging-east.write", KIND_UNAVAILABLE,
+             start_ms=10 * MINUTE_MS, end_ms=40 * MINUTE_MS)
+    plan.add("aggregator.east-agg-000.receive", KIND_CRASH,
+             start_ms=15 * MINUTE_MS, end_ms=40 * MINUTE_MS, max_fires=1)
+    plan.add(f"logmover.{CHAOS_CATEGORY}.pre_rename", KIND_CRASH,
+             max_fires=1)
+    plan.add(f"logmover.{CHAOS_CATEGORY}.pre_cleanup", KIND_CRASH,
+             max_fires=1)
+    # A second outage on the other datacenter once the soak is long
+    # enough to have a second hour.
+    if hours >= 2:
+        plan.add("hdfs.staging-west.write", KIND_UNAVAILABLE,
+                 start_ms=HOUR_MS + 12 * MINUTE_MS,
+                 end_ms=HOUR_MS + 35 * MINUTE_MS)
+    # -- probabilistic noise, windowed inside each hour -----------------
+    for h in range(hours):
+        start = h * HOUR_MS
+        plan.add("daemon.west-host-*.send", KIND_ERROR,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 50 * MINUTE_MS, probability=0.05)
+        plan.add("daemon.east-host-*.send", KIND_ACK_LOST,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 50 * MINUTE_MS, probability=0.04,
+                 max_fires=4)
+        plan.add("zk.session.*", KIND_EXPIRE_SESSION,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 50 * MINUTE_MS, probability=0.02,
+                 max_fires=2)
+    return plan
+
+
+def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
+    """Run the soak and return its audited report.
+
+    The deployment is two datacenters (east/west) of three hosts and two
+    durable aggregators each, sharing one retry policy; hours are moved
+    at each boundary after a full drain, and a final sweep catches any
+    backoff spillover into the trailing hour.
+    """
+    if hours < 1:
+        raise ValueError("need at least one hour")
+    report = ChaosReport(seed=seed, hours=hours)
+    policy = RetryPolicy(max_attempts=5, base_delay_ms=100,
+                         max_delay_ms=5_000, seed=seed)
+    deployment = ScribeDeployment(
+        ["east", "west"], num_hosts=3, num_aggregators=2,
+        durable_aggregators=True, seed=seed, retry_policy=policy)
+    deployment.categories.register(CategoryConfig(
+        category=CHAOS_CATEGORY, codec="zlib", max_file_records=50))
+    clock = deployment.clock
+    mover = LogMover(
+        staging_clusters={name: dc.staging
+                          for name, dc in deployment.datacenters.items()},
+        warehouse=deployment.warehouse,
+        clock=clock, retry_policy=policy)
+    plan = default_chaos_plan(seed, hours)
+    injector = FaultInjector(plan, clock=clock, seed=seed)
+    previous = get_default_injector()
+    set_default_injector(injector)
+    registry = get_default_registry()
+    sent_payloads: List[bytes] = []
+    counter = 0
+    try:
+        for h in range(hours):
+            hour_start = h * HOUR_MS
+            for s in range(SLICES_PER_HOUR):
+                target = hour_start + 2 * MINUTE_MS + s * 4 * MINUTE_MS
+                if clock.now() < target:
+                    clock.advance(target - clock.now())
+                for dc in deployment.datacenters.values():
+                    for daemon in dc.daemons:
+                        for _ in range(ENTRIES_PER_SLICE):
+                            payload = f"m{counter:06d}".encode()
+                            counter += 1
+                            sent_payloads.append(payload)
+                            daemon.log(LogEntry(CHAOS_CATEGORY, payload))
+                    # Operators restart crashed aggregators promptly; the
+                    # restart replays the durable write-ahead buffer.
+                    if s >= 2:
+                        _restart_dead(deployment)
+            boundary = (h + 1) * HOUR_MS
+            if clock.now() < boundary:
+                clock.advance(boundary - clock.now())
+            _drain(deployment)
+            hour = hour_for_millis(CHAOS_CATEGORY, hour_start)
+            if mover.hour_has_data(hour):
+                report.mover_restarts += _move_with_restarts(mover, hour)
+        # Backoff during the last hour can spill a few receives past the
+        # final boundary; sweep every hour that still has staged data.
+        injector.disable()
+        _drain(deployment)
+        for h in range(hours + 1):
+            hour = hour_for_millis(CHAOS_CATEGORY, h * HOUR_MS)
+            if mover.hour_has_data(hour):
+                report.mover_restarts += _move_with_restarts(mover, hour)
+    finally:
+        set_default_injector(previous)
+
+    _audit(report, deployment, mover, plan, sent_payloads)
+    report.faults_injected = injector.injected_total
+    report.retry_attempts = int(registry.total(obs_names.RETRY_ATTEMPTS))
+    report.duplicates_skipped = sum(r.duplicates_skipped
+                                    for r in mover.moves)
+    return report
+
+
+# -- orchestration helpers -------------------------------------------------
+def _restart_dead(deployment: ScribeDeployment) -> None:
+    """Restart every crashed aggregator (WAL replay happens in start)."""
+    for dc in deployment.datacenters.values():
+        for aggregator in dc.aggregators.values():
+            if not aggregator.alive:
+                aggregator.start()
+
+
+def _drain(deployment: ScribeDeployment) -> None:
+    """Push every buffered message through to staging HDFS.
+
+    Restarts dead aggregators, then alternates daemon and aggregator
+    flushes until daemon buffers, aggregator pending buckets, and
+    disk-outage buffers are all empty. Runs at hour boundaries, outside
+    every noise window, so a handful of rounds always converges.
+    """
+    _restart_dead(deployment)
+    for _ in range(8):
+        for dc in deployment.datacenters.values():
+            for daemon in dc.daemons:
+                daemon.flush()
+            for aggregator in dc.aggregators.values():
+                aggregator.flush()
+        if _fully_drained(deployment):
+            return
+
+
+def _fully_drained(deployment: ScribeDeployment) -> bool:
+    """True when no message is buffered anywhere short of staging."""
+    for dc in deployment.datacenters.values():
+        if any(d.buffered for d in dc.daemons):
+            return False
+        for aggregator in dc.aggregators.values():
+            if (aggregator.pending_messages or
+                    aggregator.disk_buffered_files or
+                    aggregator.wal_depth):
+                return False
+    return True
+
+
+def _move_with_restarts(mover: LogMover, hour) -> int:
+    """Move one hour, restarting through injected mover crashes.
+
+    Returns the number of restarts. The move body is idempotent, so a
+    re-run after a crash between any two steps converges on the same
+    published hour.
+    """
+    restarts = 0
+    for _ in range(MAX_MOVE_RESTARTS):
+        try:
+            mover.move_hour(hour, require_complete=False)
+            return restarts
+        except InjectedCrash:
+            restarts += 1
+    raise RuntimeError(f"mover failed to converge on {hour} after "
+                       f"{MAX_MOVE_RESTARTS} restarts")
+
+
+# -- the audit -------------------------------------------------------------
+def _audit(report: ChaosReport, deployment: ScribeDeployment,
+           mover: LogMover, plan: FaultPlan,
+           sent_payloads: List[bytes]) -> None:
+    """Check conservation, uniqueness, and fault coverage."""
+    daemons = [d for dc in deployment.datacenters.values()
+               for d in dc.daemons]
+    report.accepted = sum(d.stats.accepted for d in daemons)
+    report.dropped = sum(d.stats.dropped for d in daemons)
+    report.quarantined = sum(r.quarantined_messages for r in mover.moves)
+
+    # Landed payloads, read back from the warehouse like a consumer would.
+    warehouse = deployment.warehouse
+    landed_payloads: List[bytes] = []
+    root = f"{LOGS_ROOT}/{CHAOS_CATEGORY}"
+    if warehouse.is_dir(root):
+        for path in warehouse.glob_files(root):
+            for frame_bytes in decode_messages(warehouse.open_bytes(path)):
+                origin, __, payload = decode_envelope(frame_bytes)
+                if origin is not None:
+                    report.violations.append(
+                        f"unstripped envelope in warehouse file {path}")
+                landed_payloads.append(payload)
+    report.landed = len(landed_payloads)
+
+    if len(set(landed_payloads)) != len(landed_payloads):
+        dupes = len(landed_payloads) - len(set(landed_payloads))
+        report.violations.append(
+            f"{dupes} duplicate payload(s) in the warehouse")
+    expected = set(sent_payloads)
+    missing = expected - set(landed_payloads)
+    extra = set(landed_payloads) - expected
+    if missing:
+        report.violations.append(
+            f"{len(missing)} accepted payload(s) never landed "
+            f"(e.g. {sorted(missing)[:3]})")
+    if extra:
+        report.violations.append(
+            f"{len(extra)} unexpected payload(s) landed")
+    if report.accepted != (report.landed + report.dropped +
+                           report.quarantined):
+        report.violations.append(
+            f"conservation broken: accepted={report.accepted} != "
+            f"landed={report.landed} + dropped={report.dropped} + "
+            f"quarantined={report.quarantined}")
+
+    # Sequence audit: the mover's committed ledger must cover exactly the
+    # sequence ranges the daemons issued.
+    issued: Set[Tuple[str, int]] = set()
+    for daemon in daemons:
+        issued |= {(daemon.host, s) for s in range(daemon.next_seq)}
+    ledger = set(mover.landed_identities())
+    if ledger != issued:
+        report.violations.append(
+            f"sequence ledger mismatch: {len(issued - ledger)} issued "
+            f"identities unledgered, {len(ledger - issued)} ledgered "
+            f"identities never issued")
+
+    # Coverage: the acceptance faults must actually have fired.
+    _check_coverage(report, plan)
+
+
+def _check_coverage(report: ChaosReport, plan: FaultPlan) -> None:
+    """Fail the run if a deterministic acceptance fault never fired."""
+    required: Dict[str, str] = {
+        KIND_UNAVAILABLE: "HDFS outage window",
+        KIND_CRASH: "process crash",
+    }
+    fired_kinds = {rule.kind for rule in plan.rules if rule.fires}
+    for kind, label in required.items():
+        if kind not in fired_kinds:
+            report.violations.append(
+                f"fault coverage gap: no {label} ({kind}) fired")
+    mover_sites = [rule for rule in plan.rules
+                   if rule.site.startswith("logmover.")]
+    if not any(rule.fires for rule in mover_sites):
+        report.violations.append(
+            "fault coverage gap: no mover crash fired")
+    agg_sites = [rule for rule in plan.rules
+                 if rule.site.startswith("aggregator.")]
+    if not any(rule.fires for rule in agg_sites):
+        report.violations.append(
+            "fault coverage gap: no aggregator crash fired")

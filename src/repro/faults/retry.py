@@ -1,0 +1,100 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+Every recovery path in the pipeline -- the daemon's failover resend, the
+aggregator's disk-buffer replay, the mover's re-publish -- shares one
+:class:`RetryPolicy` rather than growing its own ad-hoc loop. Delays are
+logical (driven by :class:`~repro.clock.LogicalClock`), and jitter comes
+from the policy's seed, so a retried simulation is bit-for-bit replayable.
+
+Attempts are observable: each retry increments
+``retry_attempts_total{site=}``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.clock import LogicalClock
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_default_registry
+
+
+class RetryExhaustedError(Exception):
+    """All attempts failed; carries the last underlying error."""
+
+    def __init__(self, site: str, attempts: int,
+                 last_error: BaseException) -> None:
+        super().__init__(
+            f"{site}: {attempts} attempt(s) failed; last: {last_error!r}")
+        self.site = site
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * multiplier^n``, capped, jittered.
+
+    ``jitter`` is the fraction of each delay drawn from the seeded RNG
+    (0.0 disables it). The policy object is reusable; the delay schedule
+    for a given call depends only on the seed and the number of prior
+    jitter draws, which a fixed call order makes deterministic.
+    """
+
+    def __init__(self, max_attempts: int = 5, base_delay_ms: int = 100,
+                 max_delay_ms: int = 60_000, multiplier: float = 2.0,
+                 jitter: float = 0.5, seed: int = 0) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_delay_ms < 0 or max_delay_ms < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay_ms = base_delay_ms
+        self.max_delay_ms = max_delay_ms
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = Random(seed)
+
+    def delay_ms(self, attempt: int) -> int:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        raw = self.base_delay_ms * (self.multiplier ** (attempt - 1))
+        capped = min(raw, float(self.max_delay_ms))
+        if self.jitter:
+            capped *= 1.0 - self.jitter * self._rng.random()
+        return int(capped)
+
+    def delays(self) -> List[int]:
+        """The full backoff schedule (one delay per possible retry)."""
+        return [self.delay_ms(n) for n in range(1, self.max_attempts)]
+
+    def call(self, fn: Callable[[], object], *, site: str,
+             clock: Optional[LogicalClock] = None,
+             retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+             on_retry: Optional[Callable[[int, BaseException],
+                                         None]] = None) -> object:
+        """Run ``fn`` with retries; returns its result or raises.
+
+        Exceptions outside ``retry_on`` propagate immediately (an injected
+        crash must kill the caller, not be absorbed by backoff). When all
+        ``max_attempts`` fail, raises :class:`RetryExhaustedError`.
+        """
+        registry = get_default_registry()
+        last: BaseException
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts:
+                    raise RetryExhaustedError(site, attempt, exc) from exc
+                delay = self.delay_ms(attempt)
+                if clock is not None and delay:
+                    clock.advance(delay)
+                registry.counter(obs_names.RETRY_ATTEMPTS, site=site).inc()
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+        raise AssertionError("unreachable")  # pragma: no cover

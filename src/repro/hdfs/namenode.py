@@ -15,7 +15,11 @@ faithful:
 Availability/outage simulation: :meth:`HDFS.set_available` lets tests and
 benchmarks inject HDFS outages; writes during an outage raise
 :class:`HDFSUnavailableError`, which Scribe aggregators respond to by
-buffering on local disk (§2).
+buffering on local disk (§2). Seeded outage *windows* come from the fault
+injector instead: every mutating namespace operation consults the
+``hdfs.<name>.write`` fault site, so a
+:class:`~repro.faults.injector.FaultPlan` can take a namenode down for a
+bounded stretch of logical time without any test flipping flags by hand.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import posixpath
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.faults.injector import KIND_UNAVAILABLE, fault_point
 from repro.hdfs.codecs import compress, decompress
 
 
@@ -118,6 +123,10 @@ class HDFS:
     def _check_up(self) -> None:
         if not self._available:
             raise HDFSUnavailableError(f"{self.name} is unavailable")
+        rule = fault_point(f"hdfs.{self.name}.write")
+        if rule is not None and rule.kind == KIND_UNAVAILABLE:
+            raise HDFSUnavailableError(
+                f"{self.name} is unavailable (injected outage)")
 
     # -- namespace -------------------------------------------------------
     def mkdirs(self, path: str) -> None:

@@ -12,23 +12,44 @@ main data warehouse."
 The atomic slide is implemented by writing merged files into a hidden
 ``/_incoming`` directory and renaming the whole per-hour directory into
 ``/logs/<category>/...`` in one namespace operation.
+
+Exactly-once hardening: staged frames may carry a delivery envelope
+(origin host + per-daemon sequence number, see
+:mod:`repro.scribe.message`). The mover strips envelopes before writing
+to the warehouse -- analytics readers see raw messages, unchanged -- and
+dedups on the ``(origin, seq)`` identity, so aggregator WAL replays and
+lost-ack resends land exactly once even when the duplicate shows up in a
+different hour. ``move_hour`` is also *idempotent*: it clears any
+half-written ``/_incoming`` debris from a previous crashed run, updates
+its dedup ledger only after staged inputs are deleted (the commit
+point), and -- given a :class:`~repro.faults.retry.RetryPolicy` --
+retries through staging-HDFS outages with backoff. Crash windows between
+the delete/rename and rename/cleanup steps are exposed as fault sites
+``logmover.<category>.pre_rename`` / ``.pre_cleanup`` so tests can prove
+a re-run converges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.clock import LogicalClock
+from repro.faults.injector import KIND_CRASH, InjectedCrash, fault_point
+from repro.faults.retry import RetryPolicy
 from repro.hdfs.layout import LOGS_ROOT, LogHour, staging_path
-from repro.hdfs.namenode import HDFS
+from repro.hdfs.namenode import HDFS, HDFSUnavailableError
 from repro.logmover.checks import DEFAULT_CHECKS, SanityCheck, SanityCheckError
 from repro.obs import names as obs_names
 from repro.obs.metrics import get_default_registry
 from repro.obs.trace import get_default_tracer
 from repro.scribe.aggregator import decode_messages, encode_messages
+from repro.scribe.message import decode_envelope
 
 INCOMING_ROOT = "/_incoming"
+
+#: The ``(origin host, sequence number)`` identity the mover dedups on.
+MessageIdentity = Tuple[str, int]
 
 
 class IncompleteHourError(Exception):
@@ -44,6 +65,8 @@ class MoveResult:
     input_files: int
     output_files: int
     quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    quarantined_messages: int = 0
+    duplicates_skipped: int = 0
 
     @property
     def merge_ratio(self) -> float:
@@ -58,6 +81,9 @@ class LogMover:
 
     ``producers`` maps each category to the datacenters that produce it;
     categories not listed are assumed to be produced by every datacenter.
+    ``retry_policy`` makes :meth:`move_hour` ride through staging/warehouse
+    outages (``HDFSUnavailableError``) with bounded backoff on the logical
+    clock instead of failing the hour outright.
     """
 
     def __init__(self, staging_clusters: Dict[str, HDFS], warehouse: HDFS,
@@ -65,7 +91,8 @@ class LogMover:
                  checks: Optional[List[SanityCheck]] = None,
                  target_file_bytes: int = 256 * 1024,
                  codec: str = "zlib",
-                 clock: Optional[LogicalClock] = None) -> None:
+                 clock: Optional[LogicalClock] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if not staging_clusters:
             raise ValueError("need at least one staging cluster")
         self._staging = dict(staging_clusters)
@@ -77,6 +104,12 @@ class LogMover:
         # Timestamps trace spans and the end-to-end latency histogram;
         # without a clock, spans fall back to each trace's latest time.
         self._clock = clock
+        self._retry_policy = retry_policy
+        # Committed (origin, seq) identities per hour. An identity enters
+        # the ledger only once its staged inputs are deleted, so a crash
+        # anywhere before that point leaves the ledger describing exactly
+        # what a re-run may treat as already landed.
+        self._landed_seqs: Dict[LogHour, Set[MessageIdentity]] = {}
         self.moves: List[MoveResult] = []
 
     # -- completeness barrier -------------------------------------------
@@ -109,10 +142,51 @@ class LogMover:
             for dc in self.producing_datacenters(hour.category)
         )
 
+    # -- delivery ledger -------------------------------------------------
+    def landed_identities(
+            self, hour: Optional[LogHour] = None) -> FrozenSet[MessageIdentity]:
+        """Committed ``(origin, seq)`` identities, for one hour or all.
+
+        This is the audit surface the chaos soak checks conservation
+        against: every identity a daemon accepted must be here, dropped
+        at the daemon, or quarantined -- exactly once.
+        """
+        if hour is not None:
+            return frozenset(self._landed_seqs.get(hour, set()))
+        out: Set[MessageIdentity] = set()
+        for identities in self._landed_seqs.values():
+            out |= identities
+        return frozenset(out)
+
     # -- the move ----------------------------------------------------------
     def move_hour(self, hour: LogHour, require_complete: bool = True,
                   delete_staged: bool = True) -> MoveResult:
-        """Merge, check, and atomically publish one hour of one category."""
+        """Merge, check, dedup, and atomically publish one hour.
+
+        With a retry policy, transient ``HDFSUnavailableError`` from
+        staging or warehouse is retried with backoff; the single-attempt
+        body is idempotent, so a retry after a partial failure converges.
+        """
+        attempt = self._attempt_once(hour, require_complete, delete_staged)
+        if self._retry_policy is None:
+            return attempt()
+        return self._retry_policy.call(
+            attempt,
+            site=f"logmover.{hour.category}.move_hour",
+            clock=self._clock,
+            retry_on=(HDFSUnavailableError,),
+        )
+
+    def _attempt_once(self, hour: LogHour, require_complete: bool,
+                      delete_staged: bool) -> Callable[[], MoveResult]:
+        """Bind one move attempt as a thunk for the retry policy."""
+        def attempt() -> MoveResult:
+            return self._move_hour_once(hour, require_complete, delete_staged)
+        return attempt
+
+    def _move_hour_once(self, hour: LogHour, require_complete: bool,
+                        delete_staged: bool) -> MoveResult:
+        """One complete move attempt (the body of :meth:`move_hour`)."""
         if require_complete and not self.hour_ready(hour):
             missing = [
                 dc for dc in self.producing_datacenters(hour.category)
@@ -126,22 +200,36 @@ class LogMover:
         tracer = get_default_tracer()
         messages: List[bytes] = []
         quarantined: List[Tuple[str, str]] = []
+        quarantined_messages = 0
+        duplicates_skipped = 0
         input_files = 0
         bytes_moved = 0
         landed_ids: List[str] = []
         staged_paths: List[Tuple[str, str]] = []
+        # Identities committed by OTHER hours: a resend that slipped past
+        # an hour boundary must not land twice. This hour's own ledger is
+        # deliberately excluded -- a re-move rebuilds the hour from
+        # scratch (replace semantics), so its previous commit must not
+        # suppress the rebuild.
+        landed_elsewhere: Set[MessageIdentity] = set()
+        for other_hour, identities in self._landed_seqs.items():
+            if other_hour != hour:
+                landed_elsewhere |= identities
+        seen: Set[MessageIdentity] = set()
+        hour_identities: Set[MessageIdentity] = set()
         for datacenter in self.producing_datacenters(hour.category):
             staging = self._staging[datacenter]
             for path in staging.glob_files(staging_path(datacenter, hour)):
                 input_files += 1
                 staged_paths.append((datacenter, path))
-                file_messages = decode_messages(staging.open_bytes(path))
+                file_frames = decode_messages(staging.open_bytes(path))
                 file_ids = tracer.ids_for_path(path)
                 try:
                     for check in self._checks:
-                        check(path, file_messages)
+                        check(path, file_frames)
                 except SanityCheckError as exc:
                     quarantined.append((exc.path, exc.reason))
+                    quarantined_messages += len(file_frames)
                     registry.counter(obs_names.MOVER_CHECK_FAILURES,
                                      datacenter=datacenter,
                                      category=hour.category).inc()
@@ -151,31 +239,54 @@ class LogMover:
                                       self._trace_now(tracer, trace_id),
                                       path=path, reason=exc.reason)
                     continue
-                messages.extend(file_messages)
-                bytes_moved += sum(len(m) for m in file_messages)
+                for frame in file_frames:
+                    origin, seq, payload = decode_envelope(frame)
+                    if origin is not None:
+                        identity = (origin, seq)
+                        if identity in seen or identity in landed_elsewhere:
+                            duplicates_skipped += 1
+                            registry.counter(
+                                obs_names.MOVER_DUPLICATES_SKIPPED,
+                                category=hour.category).inc()
+                            continue
+                        seen.add(identity)
+                        hour_identities.add(identity)
+                    messages.append(payload)
+                    bytes_moved += len(payload)
                 for trace_id in file_ids:
                     tracer.record(trace_id, obs_names.SPAN_MOVER_DEMUX,
                                   self._trace_now(tracer, trace_id),
                                   path=path, datacenter=datacenter)
                 landed_ids.extend(file_ids)
 
-        # Merge many small files into a few big ones, then slide atomically.
+        # Merge many small files into a few big ones, then slide
+        # atomically. Debris from a previous crashed attempt is cleared
+        # first so the re-run starts from a clean incoming directory.
         incoming_dir = hour.path(root=INCOMING_ROOT)
+        if self._warehouse.exists(incoming_dir):
+            self._warehouse.delete(incoming_dir, recursive=True)
         output_files = self._write_merged(incoming_dir, messages)
         final_dir = hour.path(root=LOGS_ROOT)
         if self._warehouse.exists(final_dir):
             self._warehouse.delete(final_dir, recursive=True)
+        self._crash_point(f"logmover.{hour.category}.pre_rename")
         self._warehouse.rename(incoming_dir, final_dir)
+        self._crash_point(f"logmover.{hour.category}.pre_cleanup")
         self._record_landed(hour, final_dir, landed_ids)
 
         if delete_staged:
             for datacenter, path in staged_paths:
                 self._staging[datacenter].delete(path)
+            # Commit point: inputs are gone, so the landed identities are
+            # durable facts a future hour's dedup may rely on.
+            self._landed_seqs[hour] = hour_identities
 
         result = MoveResult(hour=hour, messages_moved=len(messages),
                             input_files=input_files,
                             output_files=output_files,
-                            quarantined=quarantined)
+                            quarantined=quarantined,
+                            quarantined_messages=quarantined_messages,
+                            duplicates_skipped=duplicates_skipped)
         registry.counter(obs_names.MOVER_HOURS_MOVED,
                          category=hour.category).inc()
         registry.counter(obs_names.MOVER_FILES_MOVED,
@@ -198,6 +309,13 @@ class LogMover:
         return results
 
     # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _crash_point(site: str) -> None:
+        """Die mid-move if a crash fault is armed at ``site``."""
+        rule = fault_point(site)
+        if rule is not None and rule.kind == KIND_CRASH:
+            raise InjectedCrash(f"log mover crashed at {site}")
+
     def _trace_now(self, tracer, trace_id: str) -> int:
         """Span timestamp: the mover's clock, else the trace's latest time.
 

@@ -32,6 +32,8 @@ AGGREGATOR_WRITTEN = "scribe_aggregator_written_total"
 AGGREGATOR_FILES_WRITTEN = "scribe_aggregator_files_written_total"
 AGGREGATOR_LOST_IN_CRASH = "scribe_aggregator_lost_in_crash_total"
 AGGREGATOR_DISK_BUFFERED = "scribe_aggregator_disk_buffered_messages"
+AGGREGATOR_WAL_REPLAYED = "scribe_aggregator_wal_replayed_total"
+AGGREGATOR_SESSION_EXPIRIES = "scribe_aggregator_session_expiries_total"
 
 # -- log mover ----------------------------------------------------------
 MOVER_HOURS_MOVED = "logmover_hours_moved_total"
@@ -40,6 +42,11 @@ MOVER_FILES_WRITTEN = "logmover_files_written_total"
 MOVER_MESSAGES_MOVED = "logmover_messages_moved_total"
 MOVER_BYTES_MOVED = "logmover_bytes_moved_total"
 MOVER_CHECK_FAILURES = "logmover_check_failures_total"
+MOVER_DUPLICATES_SKIPPED = "logmover_duplicates_skipped_total"
+
+# -- fault injection and recovery ----------------------------------------
+FAULTS_INJECTED = "faults_injected_total"
+RETRY_ATTEMPTS = "retry_attempts_total"
 
 # -- cross-stage pipeline ------------------------------------------------
 PIPELINE_DELIVERY_LATENCY = "pipeline_delivery_latency_ms"

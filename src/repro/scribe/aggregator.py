@@ -8,7 +8,18 @@ disk in case of HDFS outages".
 
 Staging files are framed message streams: each file holds the messages of
 one category for one hour, written as varint-length-prefixed frames and
-compressed with the category's codec.
+compressed with the category's codec. Messages stamped with a delivery
+identity by their daemon travel inside an envelope (see
+:func:`repro.scribe.message.encode_envelope`) that the log mover strips
+and dedups on.
+
+Durability bookkeeping: a message accepted by a durable aggregator lives
+in exactly one durable place at a time -- the write-ahead buffer while it
+is pending in memory, then the local-disk outage buffer once a roll hits
+an HDFS outage, then staging HDFS itself. WAL records are trimmed the
+moment their messages reach the next durable stage, which is what makes a
+crash-restart replay land every message exactly once instead of
+re-staging data that already left the WAL's custody.
 """
 
 from __future__ import annotations
@@ -18,13 +29,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.clock import LogicalClock
+from repro.faults.injector import KIND_CRASH, fault_point
+from repro.faults.retry import RetryExhaustedError, RetryPolicy
 from repro.hdfs.layout import LogHour, hour_for_millis, staging_path
 from repro.hdfs.namenode import HDFS, HDFSUnavailableError
 from repro.obs import names as obs_names
 from repro.obs.metrics import get_default_registry
 from repro.obs.trace import get_default_tracer
 from repro.scribe.discovery import register_aggregator
-from repro.scribe.message import CategoryRegistry, LogEntry
+from repro.scribe.message import CategoryRegistry, LogEntry, encode_envelope
 from repro.scribe.zookeeper import Session, ZooKeeper
 from repro.thriftlike.codegen import frame, iter_frames
 
@@ -48,13 +61,25 @@ def decode_messages(data: bytes) -> List[bytes]:
 
 @dataclass
 class AggregatorStats:
-    """Counters for tests and the delivery benchmark."""
+    """Counters for tests and the delivery benchmark.
+
+    ``received`` counts first-time accepts only; messages re-bucketed
+    from the write-ahead buffer after a restart count in ``replayed``
+    instead, so received stays an ingest measure rather than drifting
+    upward with every crash.
+    """
 
     received: int = 0
     written: int = 0
     buffered_on_disk: int = 0
     files_written: int = 0
     lost_in_crash: int = 0
+    replayed: int = 0
+    session_expiries: int = 0
+
+
+#: One pending message: (wire bytes, trace id, WAL index or None).
+_PendingRecord = Tuple[bytes, Optional[str], Optional[int]]
 
 
 class ScribeAggregator:
@@ -63,7 +88,8 @@ class ScribeAggregator:
     def __init__(self, name: str, datacenter: str, zk: ZooKeeper,
                  staging: HDFS, clock: LogicalClock,
                  categories: Optional[CategoryRegistry] = None,
-                 durable: bool = False) -> None:
+                 durable: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.name = name
         self.datacenter = datacenter
         self._zk = zk
@@ -73,20 +99,20 @@ class ScribeAggregator:
         self._session: Optional[Session] = None
         # With ``durable`` every accepted message also lands in a local
         # write-ahead buffer (Scribe's store-and-forward file buffer), so a
-        # crash only loses the registration, not pending data.
+        # crash only loses the registration, not pending data. Records are
+        # keyed by a monotone index so trimming landed messages is O(1)
+        # per message (the old list scan was O(n²) per roll).
         self._durable = durable
-        self._wal: List[Tuple[str, bytes]] = []
-        # (category, hour) -> pending messages not yet rolled to HDFS.
-        self._pending: Dict[Tuple[str, LogHour], List[bytes]] = {}
-        # Trace ids aligned index-for-index with each pending bucket, so
-        # the staging-write span lands on the right entries at roll time.
-        self._pending_traces: Dict[Tuple[str, LogHour],
-                                   List[Optional[str]]] = {}
+        self._wal: Dict[int, Tuple[str, bytes, Optional[str], int]] = {}
+        self._wal_next_index = 0
+        # (category, hour) -> pending records not yet rolled to HDFS.
+        self._pending: Dict[Tuple[str, LogHour], List[_PendingRecord]] = {}
         # Local-disk buffer used during HDFS outages: list of fully-encoded
         # files (path, data, codec, trace ids) waiting to be replayed.
         self._disk_buffer: List[
             Tuple[str, bytes, str, Tuple[str, ...]]] = []
         self._part_counter = 0
+        self._retry_policy = retry_policy
         self.stats = AggregatorStats()
         self.alive = False
 
@@ -95,7 +121,12 @@ class ScribeAggregator:
         """Register in ZooKeeper and begin accepting messages.
 
         A durable aggregator replays its write-ahead buffer on restart,
-        recovering messages that were accepted but unrolled at crash time.
+        recovering messages that were accepted but unrolled at crash
+        time. Replay is faithful: each record keeps its trace id, its
+        original receive hour (so late replays do not leak into the wrong
+        staging directory), and its WAL index (it stays in the WAL until
+        it actually lands). Replays count in ``stats.replayed``, never a
+        second time in ``stats.received``.
         """
         if self.alive:
             return
@@ -103,22 +134,28 @@ class ScribeAggregator:
                                             self.name)
         self.alive = True
         if self._durable and self._wal:
-            replay, self._wal = self._wal, []
-            for category, message in replay:
-                self.receive(LogEntry(category, message))
+            registry = get_default_registry()
+            for index in sorted(self._wal):
+                category, wire, trace_id, millis = self._wal[index]
+                self.stats.replayed += 1
+                registry.counter(
+                    obs_names.AGGREGATOR_WAL_REPLAYED,
+                    aggregator=self.name, datacenter=self.datacenter).inc()
+                self._bucket(category, wire, trace_id, millis, index)
 
     def crash(self) -> None:
         """Simulate a crash: the ZooKeeper session ends, the ephemeral
         registration disappears, and any pending in-memory data is lost
-        unless the aggregator is durable (write-ahead buffer)."""
+        unless the aggregator is durable (write-ahead buffer). The
+        local-disk outage buffer, like the WAL, survives."""
         if self._session is not None:
             self._session.close()
             self._session = None
         self.alive = False
         lost = sum(len(v) for v in self._pending.values())
         self._pending.clear()
-        self._pending_traces.clear()
         if not self._durable:
+            self._wal.clear()
             self.stats.lost_in_crash += lost
             get_default_registry().counter(
                 obs_names.AGGREGATOR_LOST_IN_CRASH,
@@ -137,56 +174,97 @@ class ScribeAggregator:
         """Accept one log entry from a daemon."""
         if not self.alive:
             raise AggregatorDownError(f"aggregator {self.name} is down")
-        hour = hour_for_millis(entry.category, self._clock.now())
-        key = (entry.category, hour)
-        bucket = self._pending.setdefault(key, [])
-        bucket.append(entry.message)
-        self._pending_traces.setdefault(key, []).append(entry.trace_id)
+        rule = fault_point(f"aggregator.{self.name}.receive")
+        if rule is not None and rule.kind == KIND_CRASH:
+            self.crash()
+            raise AggregatorDownError(
+                f"aggregator {self.name} crashed (injected)")
+        self._ensure_registered()
+        millis = self._clock.now()
+        if entry.origin is not None and entry.seq is not None:
+            wire = encode_envelope(entry.origin, entry.seq, entry.message)
+        else:
+            wire = entry.message
+        wal_index: Optional[int] = None
         if self._durable:
-            self._wal.append((entry.category, entry.message))
+            wal_index = self._wal_next_index
+            self._wal_next_index += 1
+            self._wal[wal_index] = (entry.category, wire, entry.trace_id,
+                                    millis)
         self.stats.received += 1
         get_default_registry().counter(
             obs_names.AGGREGATOR_RECEIVED,
             aggregator=self.name, datacenter=self.datacenter).inc()
         get_default_tracer().record(
             entry.trace_id, obs_names.SPAN_AGGREGATOR_RECEIVE,
-            self._clock.now(), aggregator=self.name,
-            datacenter=self.datacenter)
-        config = self._categories.get(entry.category)
+            millis, aggregator=self.name, datacenter=self.datacenter)
+        self._bucket(entry.category, wire, entry.trace_id, millis, wal_index)
+
+    def _ensure_registered(self) -> None:
+        """Probe the ZooKeeper session; re-register after an expiry.
+
+        Session expiry (injected via the ``zk.session.*`` fault site) is
+        not a crash: the aggregator keeps its pending data and simply
+        reconnects, exactly as a production ZooKeeper client would.
+        """
+        if self._session is not None and self._zk.check_session(
+                self._session):
+            return
+        self.stats.session_expiries += 1
+        get_default_registry().counter(
+            obs_names.AGGREGATOR_SESSION_EXPIRIES,
+            aggregator=self.name, datacenter=self.datacenter).inc()
+        self._session = register_aggregator(self._zk, self.datacenter,
+                                            self.name)
+
+    def _bucket(self, category: str, wire: bytes, trace_id: Optional[str],
+                millis: int, wal_index: Optional[int]) -> None:
+        hour = hour_for_millis(category, millis)
+        key = (category, hour)
+        bucket = self._pending.setdefault(key, [])
+        bucket.append((wire, trace_id, wal_index))
+        config = self._categories.get(category)
         if len(bucket) >= config.max_file_records:
             self._roll(key)
 
     # -- rolling to staging HDFS ------------------------------------------
     def flush(self) -> None:
         """Roll all pending buckets and retry any disk-buffered files."""
+        if self.alive:
+            self._ensure_registered()
         self.retry_disk_buffer()
         for key in sorted(self._pending, key=lambda k: (k[0], k[1])):
             self._roll(key)
 
     def _roll(self, key: Tuple[str, LogHour]) -> None:
-        messages = self._pending.pop(key, [])
-        trace_ids = tuple(
-            t for t in self._pending_traces.pop(key, []) if t is not None)
-        if not messages:
+        records = self._pending.pop(key, [])
+        if not records:
             return
         category, hour = key
         config = self._categories.get(category)
-        data = encode_messages(messages)
+        wires = [r[0] for r in records]
+        trace_ids = tuple(r[1] for r in records if r[1] is not None)
+        wal_indices = [r[2] for r in records if r[2] is not None]
+        data = encode_messages(wires)
         path = self._next_part_path(hour)
         try:
             self._staging.create(path, data, codec=config.codec)
         except HDFSUnavailableError:
-            # §2: buffer on local disk in case of HDFS outages.
+            # §2: buffer on local disk in case of HDFS outages. The disk
+            # buffer is durable, so custody of these messages passes from
+            # the WAL to it -- trimming here is what stops a later
+            # crash-restart from replaying messages that will also be
+            # replayed from the disk buffer (duplicates in staging).
             self._disk_buffer.append((path, data, config.codec, trace_ids))
-            self.stats.buffered_on_disk += len(messages)
+            self.stats.buffered_on_disk += len(wires)
             get_default_registry().gauge(
                 obs_names.AGGREGATOR_DISK_BUFFERED,
                 aggregator=self.name,
-                datacenter=self.datacenter).inc(len(messages))
+                datacenter=self.datacenter).inc(len(wires))
+            self._trim_wal(wal_indices)
             return
-        self._record_written(path, len(messages), trace_ids)
-        if self._durable:
-            self._trim_wal(category, messages)
+        self._record_written(path, len(wires), trace_ids)
+        self._trim_wal(wal_indices)
 
     def _record_written(self, path: str, num_messages: int,
                         trace_ids: Tuple[str, ...]) -> None:
@@ -207,19 +285,42 @@ class ScribeAggregator:
                           aggregator=self.name)
         tracer.bind_path(path, trace_ids)
 
-    def _trim_wal(self, category: str, messages: List[bytes]) -> None:
-        """Drop rolled messages from the write-ahead buffer."""
-        remaining = list(messages)
-        kept: List[Tuple[str, bytes]] = []
-        for wal_category, wal_message in self._wal:
-            if wal_category == category and wal_message in remaining:
-                remaining.remove(wal_message)
-            else:
-                kept.append((wal_category, wal_message))
-        self._wal = kept
+    def _trim_wal(self, wal_indices: List[int]) -> None:
+        """Drop records whose messages reached the next durable stage."""
+        for index in wal_indices:
+            self._wal.pop(index, None)
 
-    def retry_disk_buffer(self) -> int:
-        """Replay disk-buffered files; returns how many files landed."""
+    def retry_disk_buffer(self,
+                          policy: Optional[RetryPolicy] = None) -> int:
+        """Replay disk-buffered files; returns how many files landed.
+
+        Without a policy this is one best-effort pass (files that still
+        hit an outage stay buffered). With a :class:`RetryPolicy` --
+        either passed here or installed at construction -- passes repeat
+        under backoff on the logical clock until the buffer drains or
+        attempts run out.
+        """
+        policy = policy or self._retry_policy
+        if policy is None:
+            return self._retry_disk_buffer_once()
+        landed_total = 0
+
+        def _attempt() -> None:
+            nonlocal landed_total
+            landed_total += self._retry_disk_buffer_once()
+            if self._disk_buffer:
+                raise HDFSUnavailableError(
+                    f"{len(self._disk_buffer)} file(s) still disk-buffered")
+
+        try:
+            policy.call(_attempt, clock=self._clock,
+                        site=f"aggregator.{self.name}.disk_buffer",
+                        retry_on=(HDFSUnavailableError,))
+        except RetryExhaustedError:
+            pass  # whatever remains waits for the next flush
+        return landed_total
+
+    def _retry_disk_buffer_once(self) -> int:
         landed = 0
         remaining: List[Tuple[str, bytes, str, Tuple[str, ...]]] = []
         for path, data, codec, trace_ids in self._disk_buffer:
@@ -248,6 +349,16 @@ class ScribeAggregator:
     def disk_buffered_files(self) -> int:
         """Files waiting on local disk for HDFS to return."""
         return len(self._disk_buffer)
+
+    @property
+    def wal_depth(self) -> int:
+        """Write-ahead records whose messages have not yet landed."""
+        return len(self._wal)
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages accepted but not yet rolled toward staging."""
+        return sum(len(v) for v in self._pending.values())
 
     def __repr__(self) -> str:
         return (f"ScribeAggregator({self.name!r}, dc={self.datacenter!r}, "

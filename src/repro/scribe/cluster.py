@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.clock import LogicalClock
+from repro.faults.retry import RetryPolicy
 from repro.hdfs.namenode import HDFS
 from repro.scribe.aggregator import ScribeAggregator
 from repro.scribe.daemon import ScribeDaemon
@@ -29,7 +30,8 @@ class Datacenter:
                  categories: Optional[CategoryRegistry] = None,
                  staging_block_size: int = 64 * 1024,
                  durable_aggregators: bool = False,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if num_hosts <= 0 or num_aggregators <= 0:
             raise ValueError("need at least one host and one aggregator")
         self.name = name
@@ -44,6 +46,7 @@ class Datacenter:
                 name=agg_name, datacenter=name, zk=zk,
                 staging=self.staging, clock=clock,
                 categories=self.categories, durable=durable_aggregators,
+                retry_policy=retry_policy,
             )
             aggregator.start()
             self.aggregators[agg_name] = aggregator
@@ -55,6 +58,7 @@ class Datacenter:
                 discovery=discovery,
                 resolve=self.aggregators.get,
                 clock=clock,
+                retry_policy=retry_policy,
             )
             self.daemons.append(daemon)
 
@@ -109,7 +113,8 @@ class ScribeDeployment:
                  clock: Optional[LogicalClock] = None,
                  warehouse_block_size: int = 64 * 1024,
                  durable_aggregators: bool = False,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if not datacenter_names:
             raise ValueError("need at least one datacenter")
         self.clock = clock or LogicalClock()
@@ -124,6 +129,7 @@ class ScribeDeployment:
                 num_hosts=num_hosts, num_aggregators=num_aggregators,
                 categories=self.categories,
                 durable_aggregators=durable_aggregators, seed=seed + i,
+                retry_policy=retry_policy,
             )
 
     def flush_all(self) -> None:

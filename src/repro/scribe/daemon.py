@@ -7,6 +7,15 @@ aggregators in the same datacenter." On aggregator failure, daemons
 aggregator is reachable they buffer locally and replay on reconnect, which
 is what makes the pipeline "robust with respect to transient failures".
 
+Delivery guarantees: every accepted entry is stamped with this host's
+name and a monotone sequence number -- the identity the log mover dedups
+on -- and the local buffer is strictly FIFO. ``flush`` drains from the
+head and stops at the first failure (head-of-line blocking), so replay
+always preserves accept order and a failure mid-flush can never lose or
+reorder entries; likewise ``log`` never lets a fresh entry overtake a
+non-empty backlog. Send failures of *any* kind leave the entry at the
+head of the buffer rather than discarding it.
+
 Every daemon records delivery metrics into the process-wide
 :class:`~repro.obs.metrics.MetricsRegistry` and, when tracing is enabled,
 stamps entries with a trace id and emits the ``daemon.enqueue`` span --
@@ -20,6 +29,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Deque, Optional
 
 from repro.clock import LogicalClock
+from repro.faults.injector import KIND_ACK_LOST, KIND_ERROR, fault_point
+from repro.faults.retry import RetryPolicy
 from repro.obs import names
 from repro.obs.metrics import get_default_registry
 from repro.obs.trace import get_default_tracer
@@ -53,13 +64,16 @@ class ScribeDaemon:
     aggregator object -- it models the network connection; a crashed
     aggregator either resolves to a dead object (send raises) or to None
     (connection refused).  ``clock`` timestamps trace spans; without one
-    spans are recorded at time 0.
+    spans are recorded at time 0. ``retry_policy`` bounds how hard one
+    send tries across failovers (default: a single re-discovery retry,
+    the pre-policy behavior).
     """
 
     def __init__(self, host: str, discovery: AggregatorDiscovery,
                  resolve: Callable[[str], Optional[ScribeAggregator]],
                  max_buffer: Optional[int] = None,
-                 clock: Optional[LogicalClock] = None) -> None:
+                 clock: Optional[LogicalClock] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self._discovery = discovery
         self._resolve = resolve
@@ -69,14 +83,28 @@ class ScribeDaemon:
         self._buffer: Deque[LogEntry] = deque(maxlen=max_buffer)
         self._max_buffer = max_buffer
         self._clock = clock
+        self._retry_policy = retry_policy
+        self._next_seq = 0
         self.stats = DaemonStats()
 
     # -- public API ----------------------------------------------------
     def log(self, entry: LogEntry) -> None:
-        """Queue one entry for delivery, sending immediately if possible."""
+        """Queue one entry for delivery, sending immediately if possible.
+
+        Entries are stamped with ``(origin, seq)`` on accept; a non-empty
+        backlog is drained first so a fresh entry can never be delivered
+        ahead of earlier ones (per-host FIFO).
+        """
         tracer = get_default_tracer()
-        if tracer.enabled and entry.trace_id is None:
-            entry = replace(entry, trace_id=tracer.new_trace_id())
+        trace_id = entry.trace_id
+        if tracer.enabled and trace_id is None:
+            trace_id = tracer.new_trace_id()
+        if entry.origin is None:
+            entry = replace(entry, trace_id=trace_id, origin=self.host,
+                            seq=self._next_seq)
+            self._next_seq += 1
+        elif trace_id is not entry.trace_id:
+            entry = replace(entry, trace_id=trace_id)
         self.stats.accepted += 1
         registry = get_default_registry()
         registry.counter(names.DAEMON_ACCEPTED, host=self.host).inc()
@@ -85,7 +113,11 @@ class ScribeDaemon:
         # outcome attribute is filled in once it is known.
         span = tracer.record(entry.trace_id, names.SPAN_DAEMON_ENQUEUE,
                              self._now(), host=self.host, outcome="pending")
-        if self._send(entry):
+        if self._buffer:
+            self.flush()
+        if self._buffer:
+            outcome = self._enqueue(entry)
+        elif self._send(entry):
             outcome = "sent"
         else:
             outcome = self._enqueue(entry)
@@ -93,30 +125,40 @@ class ScribeDaemon:
             span.attrs["outcome"] = outcome
 
     def flush(self) -> int:
-        """Replay buffered entries; returns how many were delivered."""
-        if not self._buffer:
-            return 0
-        pending = list(self._buffer)
-        self._buffer.clear()
+        """Replay buffered entries in order; returns how many delivered.
+
+        Drains strictly from the head and stops at the first failure, so
+        a partial failure can neither reorder the stream (an entry behind
+        a stuck one is never delivered early) nor lose it (entries leave
+        the buffer only after a successful send -- even an unexpected
+        exception from the transport leaves the backlog intact).
+        """
         registry = get_default_registry()
         tracer = get_default_tracer()
         delivered = 0
-        for entry in pending:
-            if self._send(entry):
-                delivered += 1
-                self.stats.resent += 1
-                registry.counter(names.DAEMON_RESENT, host=self.host).inc()
-                tracer.record(entry.trace_id, names.SPAN_DAEMON_RESEND,
-                              self._now(), host=self.host)
-            else:
-                self._buffer.append(entry)
-        self._update_depth_gauge()
+        while self._buffer:
+            entry = self._buffer[0]
+            if not self._send(entry):
+                break
+            self._buffer.popleft()
+            delivered += 1
+            self.stats.resent += 1
+            registry.counter(names.DAEMON_RESENT, host=self.host).inc()
+            tracer.record(entry.trace_id, names.SPAN_DAEMON_RESEND,
+                          self._now(), host=self.host)
+        if delivered:
+            self._update_depth_gauge()
         return delivered
 
     @property
     def buffered(self) -> int:
         """Entries currently buffered awaiting an aggregator."""
         return len(self._buffer)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next accepted entry will carry."""
+        return self._next_seq
 
     @property
     def connected_to(self) -> Optional[str]:
@@ -128,28 +170,64 @@ class ScribeDaemon:
         return self._clock.now() if self._clock is not None else 0
 
     def _send(self, entry: LogEntry) -> bool:
-        aggregator = self._current_aggregator()
+        """One delivery attempt, including failover and bounded retries.
+
+        With a retry policy, failed attempts back off on the logical
+        clock and re-discover; without one, behavior matches classic
+        Scribe -- one immediate re-discovery retry after a stale
+        connection, then buffer.
+        """
+        policy = self._retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 2
+        exclude: Optional[str] = None
+        for attempt in range(1, max_attempts + 1):
+            if self._try_once(entry, exclude):
+                self.stats.sent += 1
+                get_default_registry().counter(names.DAEMON_SENT,
+                                               host=self.host).inc()
+                return True
+            exclude = self._last_failed
+            if attempt == max_attempts:
+                break
+            if policy is not None:
+                delay = policy.delay_ms(attempt)
+                if self._clock is not None and delay:
+                    self._clock.advance(delay)
+                get_default_registry().counter(
+                    names.RETRY_ATTEMPTS,
+                    site=f"daemon.{self.host}.send").inc()
+            elif self._last_failed is None:
+                # Classic behavior: only a stale-connection failure earns
+                # the immediate second attempt; "no aggregator at all"
+                # goes straight to the buffer.
+                break
+        return False
+
+    def _try_once(self, entry: LogEntry, exclude: Optional[str]) -> bool:
+        """A single wire attempt; sets ``_last_failed`` on stale sends."""
+        self._last_failed: Optional[str] = None
+        aggregator = self._current_aggregator(exclude=exclude)
         if aggregator is None:
             return False
+        rule = fault_point(f"daemon.{self.host}.send")
         try:
+            if rule is not None and rule.kind == KIND_ERROR:
+                # The send is lost on the wire; nothing was delivered.
+                return False
+            if rule is not None and rule.kind == KIND_ACK_LOST:
+                # Delivered, but we never learn it: the entry stays
+                # buffered and will be resent -- the duplicate the
+                # mover's sequence-number dedup must absorb.
+                aggregator.receive(entry)
+                return False
             aggregator.receive(entry)
         except AggregatorDownError:
             # Stale connection: the aggregator died between our ZooKeeper
-            # lookup and this send. Re-discover and retry once.
-            failed = self._connected
+            # lookup and this send.
+            self._last_failed = self._connected
             self._connected = None
             self._count_failover()
-            aggregator = self._current_aggregator(exclude=failed)
-            if aggregator is None:
-                return False
-            try:
-                aggregator.receive(entry)
-            except AggregatorDownError:
-                self._connected = None
-                return False
-        self.stats.sent += 1
-        get_default_registry().counter(names.DAEMON_SENT,
-                                       host=self.host).inc()
+            return False
         return True
 
     def _current_aggregator(
@@ -175,6 +253,12 @@ class ScribeDaemon:
                                        host=self.host).inc()
 
     def _enqueue(self, entry: LogEntry) -> str:
+        """The single accounting path for every buffer append.
+
+        All buffering -- fresh entries and any future re-buffering alike
+        -- funnels through here so an eviction on the bounded deque is
+        always counted in ``stats.dropped`` / ``daemon_dropped_total``.
+        """
         registry = get_default_registry()
         dropped = (self._buffer.maxlen is not None
                    and len(self._buffer) == self._buffer.maxlen)

@@ -3,13 +3,24 @@
 §2: "Each log entry consists of two strings, a category and a message. The
 category is associated with configuration metadata that determine, among
 other things, where the data is written."
+
+Exactly-once support: daemons stamp each entry with its origin host and a
+per-daemon monotone sequence number. Those travel to staging inside a
+small *envelope* prepended to the message bytes (see
+:func:`encode_envelope`), which the log mover strips -- and dedups on --
+before messages land in the warehouse. Entries that never pass through a
+daemon (tests feeding aggregators directly, legacy producers) carry no
+envelope and are delivered verbatim, exactly as before.
 """
 
 from __future__ import annotations
 
+import io
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+from repro.thriftlike.protocol import read_varint, write_varint
 
 _CATEGORY_RE = re.compile(r"^[a-z0-9_\-]+$")
 
@@ -37,11 +48,18 @@ class LogEntry:
     and every stage records spans under it (see :mod:`repro.obs.trace`).
     It is excluded from equality so traced and untraced copies of the
     same (category, message) compare equal.
+
+    ``origin`` and ``seq`` are delivery metadata, also excluded from
+    equality: the daemon stamps each accepted entry with its host name
+    and a per-daemon monotone sequence number, the identity the mover
+    dedups on so retries and WAL replays land exactly once.
     """
 
     category: str
     message: bytes
     trace_id: Optional[str] = field(default=None, compare=False)
+    origin: Optional[str] = field(default=None, compare=False)
+    seq: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         validate_category(self.category)
@@ -101,3 +119,41 @@ class CategoryRegistry:
     def categories(self):
         """All known category names, sorted."""
         return sorted(self._configs)
+
+
+# -- delivery envelope ---------------------------------------------------
+#: Magic prefix marking an enveloped message inside a staging frame.
+ENVELOPE_MAGIC = b"\xabSQ\x01"
+
+
+def encode_envelope(origin: str, seq: int, message: bytes) -> bytes:
+    """Wrap a message with its (origin, seq) delivery identity.
+
+    Layout: magic, varint-length-prefixed origin, varint seq, raw message
+    bytes to the end of the frame (frames are already length-delimited,
+    so the message needs no own length).
+    """
+    buf = io.BytesIO()
+    buf.write(ENVELOPE_MAGIC)
+    encoded_origin = origin.encode("utf-8")
+    write_varint(buf, len(encoded_origin))
+    buf.write(encoded_origin)
+    write_varint(buf, seq)
+    buf.write(message)
+    return buf.getvalue()
+
+
+def decode_envelope(
+        data: bytes) -> Tuple[Optional[str], Optional[int], bytes]:
+    """Split a frame into ``(origin, seq, message)``.
+
+    Frames without the envelope magic -- legacy producers, tests feeding
+    aggregators directly -- come back as ``(None, None, data)`` untouched.
+    """
+    if not data.startswith(ENVELOPE_MAGIC):
+        return None, None, data
+    stream = io.BytesIO(data[len(ENVELOPE_MAGIC):])
+    origin_len = read_varint(stream.read)
+    origin = stream.read(origin_len).decode("utf-8")
+    seq = read_varint(stream.read)
+    return origin, seq, stream.read()

@@ -8,7 +8,11 @@ aggregator". The pieces needed for that contract are implemented:
 - a tree of znodes addressed by slash-separated paths;
 - sessions, and ephemeral znodes that vanish when their session ends;
 - sequential znodes (monotone suffix per parent);
-- one-shot watches on node existence and on a parent's child list.
+- one-shot watches on node existence and on a parent's child list;
+- injectable session expiry (:meth:`ZooKeeper.check_session`), the
+  failure real ZooKeeper clients must survive: the server times a client
+  out, its ephemerals vanish, and the client only discovers this when it
+  next touches the ensemble.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from __future__ import annotations
 import posixpath
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
+
+from repro.faults.injector import KIND_EXPIRE_SESSION, fault_point
 
 
 class ZooKeeperError(Exception):
@@ -114,6 +120,35 @@ class ZooKeeper:
             if path in self._nodes:
                 self._delete_node(path)
         self._sessions.pop(session_id, None)
+
+    def expire_session(self, session_id: int) -> None:
+        """Server-side session expiry: ephemerals vanish, handle goes dead.
+
+        Unlike :meth:`Session.close` (a clean client disconnect), expiry
+        is something the *server* does to a silent client; the client's
+        handle is marked dead so its next operation raises
+        :class:`SessionExpiredError`, which is how the owner finds out.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        self._close_session(session_id)
+        session.alive = False
+
+    def check_session(self, session: Optional[Session]) -> bool:
+        """Liveness probe clients run before relying on their ephemerals.
+
+        This is also the injection point for ZooKeeper faults: a
+        :class:`~repro.faults.injector.FaultRule` of kind
+        ``expire_session`` matching ``zk.session.<id>`` expires the
+        session right here, as if the server had timed the client out.
+        """
+        if session is None or not session.alive:
+            return False
+        rule = fault_point(f"zk.session.{session.session_id}")
+        if rule is not None and rule.kind == KIND_EXPIRE_SESSION:
+            self.expire_session(session.session_id)
+        return session.alive
 
     def session_count(self) -> int:
         """Number of open client sessions."""

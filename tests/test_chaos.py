@@ -1,0 +1,68 @@
+"""Chaos soak tests: conservation holds under the standard storm."""
+
+import pytest
+
+from repro.faults.chaos import ChaosReport, default_chaos_plan, run_chaos
+from repro.faults.injector import get_default_injector
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = set_default_registry(MetricsRegistry())
+    yield
+    set_default_registry(old)
+
+
+class TestChaosPlan:
+    def test_plan_has_the_acceptance_faults(self):
+        plan = default_chaos_plan(seed=0, hours=2)
+        sites = [rule.site for rule in plan.rules]
+        assert any(s.startswith("hdfs.") for s in sites)
+        assert any(s.startswith("aggregator.") for s in sites)
+        assert any("pre_rename" in s for s in sites)
+        assert any("pre_cleanup" in s for s in sites)
+
+    def test_noise_windows_end_before_hour_boundaries(self):
+        plan = default_chaos_plan(seed=0, hours=3)
+        for rule in plan.rules:
+            if rule.probability < 1.0:
+                assert rule.end_ms is not None
+                assert rule.end_ms % 3_600_000 < 55 * 60_000
+
+
+class TestRunChaos:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_soak_passes(self, seed):
+        report = run_chaos(seed, hours=2)
+        assert report.ok, report.summary()
+        assert report.accepted > 0
+        assert report.accepted == (report.landed + report.dropped +
+                                   report.quarantined)
+        # The storm actually happened: faults fired, retries happened,
+        # and real duplicates were absorbed.
+        assert report.faults_injected > 0
+        assert report.duplicates_skipped > 0
+        assert report.mover_restarts >= 2  # both mover crash sites
+
+    def test_identical_seeds_identical_storms(self):
+        a = run_chaos(5, hours=1)
+        set_default_registry(MetricsRegistry())
+        b = run_chaos(5, hours=1)
+        assert (a.accepted, a.landed, a.faults_injected) == \
+            (b.accepted, b.landed, b.faults_injected)
+
+    def test_injector_uninstalled_afterwards(self):
+        run_chaos(1, hours=1)
+        assert get_default_injector() is None
+
+    def test_rejects_zero_hours(self):
+        with pytest.raises(ValueError):
+            run_chaos(0, hours=0)
+
+    def test_report_summary_mentions_outcome(self):
+        report = ChaosReport(seed=9, hours=1)
+        assert "PASS" in report.summary()
+        report.violations.append("something broke")
+        assert "FAIL" in report.summary()
+        assert "something broke" in report.summary()

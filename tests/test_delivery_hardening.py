@@ -1,0 +1,299 @@
+"""Regression tests for the duplicate/reorder/loss bug family (§2).
+
+Each test class covers one of the delivery-hardening fixes: head-of-line
+flush ordering, exception-safe buffering with single-path accounting,
+WAL custody across outages and crashes, and replay fidelity. Every test
+here fails against the pre-fix implementations.
+"""
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.faults.injector import (
+    KIND_ACK_LOST,
+    KIND_ERROR,
+    KIND_EXPIRE_SESSION,
+    FaultInjector,
+    FaultPlan,
+    set_default_injector,
+)
+from repro.faults.retry import RetryPolicy
+from repro.hdfs.namenode import HDFS
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.obs.trace import Tracer, set_default_tracer
+from repro.scribe.aggregator import ScribeAggregator, decode_messages
+from repro.scribe.daemon import ScribeDaemon
+from repro.scribe.discovery import AggregatorDiscovery
+from repro.scribe.message import LogEntry, decode_envelope
+from repro.scribe.zookeeper import ZooKeeper
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    old_registry = set_default_registry(MetricsRegistry())
+    yield
+    set_default_injector(None)
+    set_default_registry(old_registry)
+
+
+def _rig(durable=False, retry_policy=None, max_buffer=None):
+    """One daemon wired to one aggregator through ZooKeeper."""
+    zk = ZooKeeper()
+    clock = LogicalClock()
+    staging = HDFS()
+    aggregator = ScribeAggregator("agg-1", "dc1", zk, staging, clock,
+                                  durable=durable)
+    aggregator.start()
+    daemon = ScribeDaemon("host-1", AggregatorDiscovery(zk, "dc1", seed=0),
+                          resolve={"agg-1": aggregator}.get, clock=clock,
+                          max_buffer=max_buffer, retry_policy=retry_policy)
+    return daemon, aggregator, staging, clock
+
+
+def _staged_payloads(aggregator, staging):
+    """Payloads landed in staging, in write order, envelopes stripped."""
+    aggregator.flush()
+    out = []
+    for path in sorted(staging.glob_files("/staging")):
+        for wire in decode_messages(staging.open_bytes(path)):
+            __, __, payload = decode_envelope(wire)
+            out.append(payload)
+    return out
+
+
+class TestSequenceStamping:
+    def test_entries_stamped_with_origin_and_monotone_seq(self):
+        daemon, aggregator, staging, __ = _rig()
+        for i in range(3):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        assert daemon.next_seq == 3
+        aggregator.flush()
+        identities = []
+        for path in sorted(staging.glob_files("/staging")):
+            for wire in decode_messages(staging.open_bytes(path)):
+                origin, seq, __ = decode_envelope(wire)
+                identities.append((origin, seq))
+        assert identities == [("host-1", 0), ("host-1", 1), ("host-1", 2)]
+
+
+class TestFlushOrdering:
+    """Satellite 1: flush must stop at the first failure, not reorder."""
+
+    def test_failed_head_blocks_the_line(self):
+        daemon, aggregator, staging, __ = _rig()
+        aggregator.crash()
+        for i in range(3):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        assert daemon.buffered == 3
+        aggregator.start()
+        # The head entry's send is lost on the wire; nothing behind it
+        # may be delivered in this flush.
+        plan = FaultPlan()
+        plan.add("daemon.host-1.send", KIND_ERROR, max_fires=2)
+        set_default_injector(FaultInjector(plan))
+        assert daemon.flush() == 0
+        assert daemon.buffered == 3
+        set_default_injector(None)
+        assert daemon.flush() == 3
+        assert _staged_payloads(aggregator, staging) == [b"m0", b"m1", b"m2"]
+
+    def test_fresh_entry_never_overtakes_backlog(self):
+        daemon, aggregator, staging, __ = _rig()
+        aggregator.crash()
+        daemon.log(LogEntry("cat", b"old-1"))
+        daemon.log(LogEntry("cat", b"old-2"))
+        aggregator.start()
+        # The next log() drains the backlog first, then sends the fresh
+        # entry: strict per-host FIFO.
+        daemon.log(LogEntry("cat", b"new"))
+        assert daemon.buffered == 0
+        assert _staged_payloads(aggregator, staging) == [
+            b"old-1", b"old-2", b"new"]
+
+    def test_backlog_stuck_means_fresh_entry_queues_behind(self):
+        daemon, aggregator, __, __ = _rig()
+        aggregator.crash()
+        daemon.log(LogEntry("cat", b"old"))
+        daemon.log(LogEntry("cat", b"new"))
+        assert daemon.buffered == 2
+        aggregator.start()
+        assert daemon.flush() == 2
+
+
+class _ExplodingAggregator(ScribeAggregator):
+    """Raises an unexpected (non-protocol) error on the Nth receive."""
+
+    def __init__(self, *args, explode_on=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._receives = 0
+        self._explode_on = explode_on
+
+    def receive(self, entry):
+        self._receives += 1
+        if self._receives == self._explode_on:
+            raise RuntimeError("transport wedged")
+        super().receive(entry)
+
+
+class TestNoSilentDrops:
+    """Satellite 2: a failure mid-flush must never lose buffered entries."""
+
+    def test_unexpected_exception_keeps_backlog(self):
+        zk = ZooKeeper()
+        clock = LogicalClock()
+        aggregator = _ExplodingAggregator("agg-1", "dc1", zk, HDFS(), clock,
+                                          explode_on=2)
+        aggregator.start()
+        daemon = ScribeDaemon("host-1",
+                              AggregatorDiscovery(zk, "dc1", seed=0),
+                              resolve={"agg-1": aggregator}.get, clock=clock)
+        aggregator.alive = False
+        for i in range(3):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        aggregator.alive = True
+        # First send lands, second raises RuntimeError: the old flush had
+        # already cleared the buffer and silently dropped m1 and m2.
+        with pytest.raises(RuntimeError):
+            daemon.flush()
+        assert daemon.buffered == 2
+
+    def test_accounting_invariant_holds_under_overload(self):
+        daemon, aggregator, __, __ = _rig(max_buffer=2)
+        aggregator.crash()
+        for i in range(6):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        stats = daemon.stats
+        # Every accepted entry is accounted for exactly once: delivered,
+        # dropped by the bounded buffer, or still buffered.
+        assert stats.accepted == stats.sent + stats.dropped + daemon.buffered
+        assert stats.dropped == 4
+
+
+class TestWalCustody:
+    """Satellite 3: WAL trim at custody transfer, not at final landing."""
+
+    def test_outage_then_crash_does_not_duplicate(self):
+        daemon, aggregator, staging, __ = _rig(durable=True)
+        staging.set_available(False)
+        for i in range(3):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        aggregator.flush()  # rolls into the local-disk outage buffer
+        assert aggregator.disk_buffered_files == 1
+        # Custody passed WAL -> disk buffer, so a crash-restart replays
+        # nothing; pre-fix the WAL kept the records and the restart
+        # re-staged every message a second time.
+        assert aggregator.wal_depth == 0
+        aggregator.crash()
+        aggregator.start()
+        staging.set_available(True)
+        assert _staged_payloads(aggregator, staging) == [b"m0", b"m1", b"m2"]
+        assert aggregator.stats.written == 3
+
+    def test_wal_trimmed_as_messages_land(self):
+        daemon, aggregator, __, __ = _rig(durable=True)
+        for i in range(5):
+            daemon.log(LogEntry("cat", b"m%d" % i))
+        assert aggregator.wal_depth == 5
+        aggregator.flush()
+        assert aggregator.wal_depth == 0
+
+    def test_disk_buffer_replay_with_retry_policy(self):
+        daemon, aggregator, staging, clock = _rig(durable=True)
+        staging.set_available(False)
+        daemon.log(LogEntry("cat", b"m0"))
+        aggregator.flush()
+        assert aggregator.disk_buffered_files == 1
+        staging.set_available(True)
+        before = clock.now()
+        landed = aggregator.retry_disk_buffer(
+            RetryPolicy(max_attempts=3, base_delay_ms=10, seed=1))
+        assert landed == 1
+        assert aggregator.disk_buffered_files == 0
+        assert clock.now() == before  # landed on the first pass, no backoff
+
+
+class TestReplayFidelity:
+    """Satellite 4: WAL replay preserves trace ids, counts separately."""
+
+    def test_replay_keeps_trace_id_and_counts_once(self):
+        old_tracer = set_default_tracer(Tracer(enabled=True))
+        try:
+            daemon, aggregator, staging, __ = _rig(durable=True)
+            for i in range(3):
+                daemon.log(LogEntry("cat", b"m%d" % i))
+            assert aggregator.stats.received == 3
+            aggregator.crash()
+            aggregator.start()
+            # Replays are counted as replays; received is an ingest
+            # measure and must not double-count (pre-fix it did).
+            assert aggregator.stats.received == 3
+            assert aggregator.stats.replayed == 3
+        finally:
+            set_default_tracer(old_tracer)
+
+    def test_replayed_entries_traceable_to_staging_file(self):
+        old_tracer = set_default_tracer(Tracer(enabled=True))
+        try:
+            from repro.obs.trace import get_default_tracer
+
+            daemon, aggregator, staging, __ = _rig(durable=True)
+            daemon.log(LogEntry("cat", b"payload"))
+            aggregator.crash()
+            aggregator.start()
+            aggregator.flush()
+            tracer = get_default_tracer()
+            (path,) = staging.glob_files("/staging")
+            # Pre-fix, replay dropped the trace id and the staged file
+            # was unattributable.
+            assert tracer.ids_for_path(path)
+        finally:
+            set_default_tracer(old_tracer)
+
+    def test_replay_lands_in_original_hour(self):
+        daemon, aggregator, staging, clock = _rig(durable=True)
+        daemon.log(LogEntry("cat", b"early"))
+        aggregator.crash()
+        clock.advance(2 * 3_600_000)  # restart two hours later
+        aggregator.start()
+        aggregator.flush()
+        (path,) = staging.glob_files("/staging")
+        # 2012-01-01 hour 00, not hour 02: late replays must not leak
+        # into the wrong warehouse hour.
+        assert "/2012/01/01/00/" in path
+
+
+class TestSessionExpiry:
+    def test_aggregator_reregisters_after_expiry(self):
+        daemon, aggregator, staging, __ = _rig()
+        daemon.log(LogEntry("cat", b"before"))
+        plan = FaultPlan()
+        plan.add("zk.session.*", KIND_EXPIRE_SESSION, max_fires=1)
+        set_default_injector(FaultInjector(plan))
+        daemon.log(LogEntry("cat", b"during"))
+        set_default_injector(None)
+        daemon.log(LogEntry("cat", b"after"))
+        assert aggregator.stats.session_expiries == 1
+        assert _staged_payloads(aggregator, staging) == [
+            b"before", b"during", b"after"]
+
+
+class TestAckLostDuplicates:
+    def test_lost_ack_delivers_then_resends(self):
+        daemon, aggregator, staging, __ = _rig()
+        plan = FaultPlan()
+        plan.add("daemon.host-1.send", KIND_ACK_LOST, max_fires=1)
+        set_default_injector(FaultInjector(plan))
+        daemon.log(LogEntry("cat", b"dup"))
+        set_default_injector(None)
+        assert daemon.buffered == 1  # we never learned it landed
+        daemon.flush()
+        # The aggregator holds both copies -- same (origin, seq) -- and
+        # the mover's dedup is what collapses them downstream.
+        payloads = _staged_payloads(aggregator, staging)
+        assert payloads == [b"dup", b"dup"]
+        identities = set()
+        for path in staging.glob_files("/staging"):
+            for wire in decode_messages(staging.open_bytes(path)):
+                origin, seq, __ = decode_envelope(wire)
+                identities.add((origin, seq))
+        assert identities == {("host-1", 0)}

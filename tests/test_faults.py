@@ -1,0 +1,233 @@
+"""Fault injector and retry-policy tests: determinism, windows, backoff."""
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.faults.injector import (
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_UNAVAILABLE,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    fault_point,
+    get_default_injector,
+    set_default_injector,
+)
+from repro.faults.retry import RetryExhaustedError, RetryPolicy
+from repro.obs import names as obs_names
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    old_registry = set_default_registry(MetricsRegistry())
+    yield
+    set_default_injector(None)
+    set_default_registry(old_registry)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", kind="meteor_strike")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", kind=KIND_ERROR, probability=1.5)
+
+    def test_site_patterns_fnmatch(self):
+        rule = FaultRule(site="daemon.east-host-*.send", kind=KIND_ERROR)
+        assert rule.matches_site("daemon.east-host-0001.send")
+        assert not rule.matches_site("daemon.west-host-0001.send")
+
+    def test_window_half_open(self):
+        rule = FaultRule(site="x", kind=KIND_ERROR, start_ms=10, end_ms=20)
+        assert not rule.in_window(9)
+        assert rule.in_window(10)
+        assert rule.in_window(19)
+        assert not rule.in_window(20)
+
+    def test_unbounded_window(self):
+        rule = FaultRule(site="x", kind=KIND_ERROR)
+        assert rule.in_window(0)
+        assert rule.in_window(10 ** 12)
+
+
+class TestFaultInjector:
+    def test_fires_matching_rule(self):
+        plan = FaultPlan()
+        rule = plan.add("hdfs.staging.write", KIND_UNAVAILABLE)
+        injector = FaultInjector(plan)
+        assert injector.check("hdfs.staging.write") is rule
+        assert injector.check("hdfs.other.write") is None
+        assert rule.fires == 1
+        assert injector.injected_total == 1
+
+    def test_window_gates_on_logical_clock(self):
+        clock = LogicalClock()
+        plan = FaultPlan()
+        plan.add("s", KIND_ERROR, start_ms=100, end_ms=200)
+        injector = FaultInjector(plan, clock=clock)
+        assert injector.check("s") is None
+        clock.advance(150)
+        assert injector.check("s") is not None
+        clock.advance(100)  # now 250, past the window
+        assert injector.check("s") is None
+
+    def test_after_calls_skips_then_fires(self):
+        plan = FaultPlan()
+        plan.add("s", KIND_ERROR, after_calls=2)
+        injector = FaultInjector(plan)
+        assert injector.check("s") is None
+        assert injector.check("s") is None
+        assert injector.check("s") is not None
+
+    def test_max_fires_retires_rule(self):
+        plan = FaultPlan()
+        plan.add("s", KIND_ERROR, max_fires=2)
+        injector = FaultInjector(plan)
+        assert injector.check("s") is not None
+        assert injector.check("s") is not None
+        assert injector.check("s") is None
+
+    def test_probability_draws_are_seed_deterministic(self):
+        def outcomes(seed):
+            plan = FaultPlan()
+            plan.add("s", KIND_ERROR, probability=0.5)
+            injector = FaultInjector(plan, seed=seed)
+            return [injector.check("s") is not None for __ in range(50)]
+
+        assert outcomes(7) == outcomes(7)
+        assert any(outcomes(7))
+        assert not all(outcomes(7))
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan()
+        plan.add("s", KIND_ERROR, probability=0.0)
+        injector = FaultInjector(plan)
+        assert all(injector.check("s") is None for __ in range(20))
+
+    def test_disable_stops_injection(self):
+        plan = FaultPlan()
+        plan.add("s", KIND_ERROR)
+        injector = FaultInjector(plan)
+        injector.disable()
+        assert injector.check("s") is None
+
+    def test_fires_counted_in_metric(self):
+        registry = MetricsRegistry()
+        old = set_default_registry(registry)
+        try:
+            plan = FaultPlan()
+            plan.add("s", KIND_CRASH)
+            FaultInjector(plan).check("s")
+            assert registry.total(obs_names.FAULTS_INJECTED) == 1
+        finally:
+            set_default_registry(old)
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan()
+        first = plan.add("s", KIND_ERROR)
+        plan.add("s", KIND_CRASH)
+        assert FaultInjector(plan).check("s") is first
+
+
+class TestDefaultInjector:
+    def test_fault_point_noop_without_injector(self):
+        assert get_default_injector() is None
+        assert fault_point("anything.at.all") is None
+
+    def test_fault_point_consults_installed_injector(self):
+        plan = FaultPlan()
+        plan.add("site.x", KIND_ERROR)
+        set_default_injector(FaultInjector(plan))
+        assert fault_point("site.x") is not None
+        set_default_injector(None)
+        assert fault_point("site.x") is None
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+    def test_schedule_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_ms=100,
+                             max_delay_ms=500, multiplier=2.0, jitter=0.0)
+        assert policy.delays() == [100, 200, 400, 500, 500]
+
+    def test_jitter_is_seed_deterministic(self):
+        a = RetryPolicy(max_attempts=5, seed=3).delays()
+        b = RetryPolicy(max_attempts=5, seed=3).delays()
+        assert a == b
+
+    def test_success_needs_no_retries(self):
+        policy = RetryPolicy()
+        assert policy.call(lambda: 42, site="s") == 42
+
+    def test_retries_until_success_advancing_clock(self):
+        clock = LogicalClock()
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=100, jitter=0.0)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise IOError("transient")
+            return "ok"
+
+        assert policy.call(flaky, site="s", clock=clock) == "ok"
+        assert len(attempts) == 3
+        assert clock.now() == 100 + 200  # two backoffs
+
+    def test_exhaustion_raises_with_context(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=0)
+
+        def always_fails():
+            raise IOError("down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.call(always_fails, site="mysite")
+        assert info.value.site == "mysite"
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, IOError)
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def crashes():
+            calls.append(1)
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            policy.call(crashes, site="s", retry_on=(IOError,))
+        assert len(calls) == 1
+
+    def test_retries_recorded_in_metric(self):
+        registry = MetricsRegistry()
+        old = set_default_registry(registry)
+        try:
+            policy = RetryPolicy(max_attempts=3, base_delay_ms=0)
+            with pytest.raises(RetryExhaustedError):
+                policy.call(lambda: (_ for _ in ()).throw(IOError("x")),
+                            site="s")
+            assert registry.total(obs_names.RETRY_ATTEMPTS) == 2
+        finally:
+            set_default_registry(old)
+
+    def test_on_retry_callback_sees_attempt_and_error(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=0)
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise IOError("once")
+            return "ok"
+
+        policy.call(flaky, site="s",
+                    on_retry=lambda n, exc: seen.append((n, str(exc))))
+        assert seen == [(1, "once")]

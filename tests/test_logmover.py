@@ -2,6 +2,16 @@
 
 import pytest
 
+from repro.clock import LogicalClock
+from repro.faults.injector import (
+    KIND_CRASH,
+    KIND_UNAVAILABLE,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    set_default_injector,
+)
+from repro.faults.retry import RetryPolicy
 from repro.hdfs.layout import LOGS_ROOT, LogHour, staging_path
 from repro.hdfs.namenode import HDFS, HDFSError
 from repro.logmover.checks import (
@@ -11,7 +21,14 @@ from repro.logmover.checks import (
     check_nonempty,
 )
 from repro.logmover.mover import IncompleteHourError, LogMover
+from repro.obs import names as obs_names
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
 from repro.scribe.aggregator import decode_messages, encode_messages
+from repro.scribe.message import encode_envelope
 
 HOUR = LogHour("client_events", 2012, 3, 7, 10)
 
@@ -249,3 +266,140 @@ class TestMultipleCategories:
         assert second.messages_moved == 2
         assert warehouse.glob_files("/logs/client_events")
         assert warehouse.glob_files("/logs/ad_impressions")
+
+
+class TestExactlyOnce:
+    """Envelope dedup, crash-site convergence, and the delivery ledger."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_injector(self):
+        yield
+        set_default_injector(None)
+
+    def test_envelopes_stripped_before_warehouse(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"raw")])
+        mover.move_hour(HOUR)
+        assert _warehouse_messages(warehouse) == [b"raw"]
+
+    def test_duplicate_identities_deduped_within_hour(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a"),
+                                 encode_envelope("h1", 1, b"b")])
+        _stage(s1, "dc1", "p2", [encode_envelope("h1", 0, b"a")])
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 2
+        assert result.duplicates_skipped == 1
+        assert sorted(_warehouse_messages(warehouse)) == [b"a", b"b"]
+
+    def test_duplicate_landed_in_earlier_hour_skipped(self):
+        """A resend that slips past an hour boundary must not land twice."""
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a")])
+        mover.move_hour(HOUR)
+        later = LogHour("client_events", 2012, 3, 7, 11)
+        s1.create(f"{staging_path('dc1', later)}/p1",
+                  encode_messages([encode_envelope("h1", 0, b"a"),
+                                   encode_envelope("h1", 1, b"b")]),
+                  codec="zlib")
+        result = mover.move_hour(later)
+        assert result.duplicates_skipped == 1
+        assert sorted(decode_messages(b"".join(
+            warehouse.open_bytes(p)
+            for p in warehouse.glob_files(later.path(root=LOGS_ROOT))
+        ))) == [b"b"]
+
+    def test_duplicates_skipped_metric(self):
+        old = set_default_registry(MetricsRegistry())
+        try:
+            s1, warehouse = HDFS(), HDFS()
+            mover = LogMover({"dc1": s1}, warehouse)
+            _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a")])
+            _stage(s1, "dc1", "p2", [encode_envelope("h1", 0, b"a")])
+            mover.move_hour(HOUR)
+            registry = get_default_registry()
+            assert registry.total(obs_names.MOVER_DUPLICATES_SKIPPED) == 1
+        finally:
+            set_default_registry(old)
+
+    def test_unenveloped_frames_pass_through_undeduped(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [b"legacy", b"legacy"])
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 2
+        assert result.duplicates_skipped == 0
+
+    def test_ledger_records_committed_identities(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a"),
+                                 encode_envelope("h2", 5, b"b")])
+        mover.move_hour(HOUR)
+        assert mover.landed_identities(HOUR) == {("h1", 0), ("h2", 5)}
+        assert mover.landed_identities() == {("h1", 0), ("h2", 5)}
+
+    def test_ledger_not_committed_without_staged_deletion(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a")])
+        mover.move_hour(HOUR, delete_staged=False)
+        assert mover.landed_identities(HOUR) == frozenset()
+
+    def _arm_crash(self, site):
+        plan = FaultPlan()
+        plan.add(site, KIND_CRASH, max_fires=1)
+        set_default_injector(FaultInjector(plan))
+
+    def test_crash_between_delete_and_rename_rerun_converges(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"v1")])
+        mover.move_hour(HOUR)
+        _stage(s1, "dc1", "p2", [encode_envelope("h1", 1, b"v2")])
+        self._arm_crash("logmover.client_events.pre_rename")
+        with pytest.raises(InjectedCrash):
+            mover.move_hour(HOUR)
+        # Crashed after deleting the published hour but before renaming
+        # the rebuild in: consumers momentarily see no hour at all.
+        assert not warehouse.exists(HOUR.path(root=LOGS_ROOT))
+        assert len(s1.glob_files(staging_path("dc1", HOUR))) == 1
+        result = mover.move_hour(HOUR)  # operator restarts the mover
+        assert result.messages_moved == 1
+        assert _warehouse_messages(warehouse) == [b"v2"]
+        assert s1.glob_files(staging_path("dc1", HOUR)) == []
+
+    def test_crash_between_rename_and_cleanup_rerun_converges(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"v1")])
+        self._arm_crash("logmover.client_events.pre_cleanup")
+        with pytest.raises(InjectedCrash):
+            mover.move_hour(HOUR)
+        # Published, but staged inputs survive: the re-run must rebuild
+        # the identical hour without duplicating anything.
+        assert warehouse.exists(HOUR.path(root=LOGS_ROOT))
+        assert len(s1.glob_files(staging_path("dc1", HOUR))) == 1
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 1
+        assert _warehouse_messages(warehouse) == [b"v1"]
+        assert s1.glob_files(staging_path("dc1", HOUR)) == []
+        assert mover.landed_identities(HOUR) == {("h1", 0)}
+
+    def test_retry_policy_rides_through_staging_outage(self):
+        s1, warehouse = HDFS(), HDFS()
+        clock = LogicalClock()
+        mover = LogMover({"dc1": s1}, warehouse, clock=clock,
+                         retry_policy=RetryPolicy(max_attempts=4, seed=7))
+        _stage(s1, "dc1", "p1", [b"a"])
+        outages = FaultPlan()
+        # The first two staged-file deletions hit an outage; backoff
+        # retries the whole (idempotent) move until it lands.
+        outages.add("hdfs.hdfs.write", KIND_UNAVAILABLE, max_fires=2)
+        set_default_injector(FaultInjector(outages, clock=clock))
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 1
+        assert _warehouse_messages(warehouse) == [b"a"]

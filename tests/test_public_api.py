@@ -22,6 +22,7 @@ class TestTopLevelExports:
         "repro.logmover", "repro.mapreduce", "repro.pig", "repro.oink",
         "repro.legacy", "repro.analytics", "repro.nlp",
         "repro.elephanttwin", "repro.workload", "repro.obs",
+        "repro.faults",
     ])
     def test_subpackage_all_resolves(self, package):
         import importlib
