@@ -4,7 +4,9 @@ from repro.analytics.counting import (
     CountClientEvents,
     SessionsWithEvent,
     count_events_raw,
+    count_events_selective,
     count_events_sequences,
+    events_for_user,
 )
 from repro.analytics.funnel import (
     ClientEventsFunnel,
@@ -54,7 +56,9 @@ __all__ = [
     "CountClientEvents",
     "SessionsWithEvent",
     "count_events_raw",
+    "count_events_selective",
     "count_events_sequences",
+    "events_for_user",
     "ClientEventsFunnel",
     "FunnelReport",
     "run_funnel",

@@ -175,3 +175,49 @@ def count_events_raw(warehouse: HDFS, date: Tuple[int, int, int],
                                               description="SUM").dump()
         return out[0] if out else 0
     raise ValueError(f"unknown mode {mode!r}")
+
+
+def count_events_selective(warehouse: HDFS, date: Tuple[int, int, int],
+                           pattern: str,
+                           tracker: Optional[JobTracker] = None,
+                           backend: Optional[str] = None,
+                           max_workers: Optional[int] = None) -> int:
+    """Count raw events matching ``pattern`` via Elephant Twin pushdown.
+
+    The §6 "highly-selective query" path: a ``load(...).filter_events``
+    plan whose filter carries an index hint, so the executor swaps the
+    full day scan for the per-hour index partitions when they exist.
+    Without partitions (or with stale ones) the plan degrades to
+    scanning exactly the uncovered splits -- the count is identical to
+    :func:`count_events_raw` either way.
+    """
+    pig = PigServer(tracker, backend=backend, max_workers=max_workers)
+    year, month, day = date
+    rows = (
+        pig.load(ClientEventsLoader(warehouse, year, month, day))
+        .filter_events(pattern)
+        .dump()
+    )
+    return len(rows)
+
+
+def events_for_user(warehouse: HDFS, date: Tuple[int, int, int],
+                    user_id: int,
+                    tracker: Optional[JobTracker] = None,
+                    backend: Optional[str] = None,
+                    max_workers: Optional[int] = None) -> list:
+    """One user's client events for a day, via the ``user`` index field.
+
+    The multi-field payoff: the same per-hour partitions that serve event
+    -name selections also serve exact-user retrieval, pruning every split
+    the user never touched.
+    """
+    from repro.pig.udf import UserEventsFilter
+
+    pig = PigServer(tracker, backend=backend, max_workers=max_workers)
+    year, month, day = date
+    return (
+        pig.load(ClientEventsLoader(warehouse, year, month, day))
+        .filter(UserEventsFilter(user_id), description=f"user[{user_id}]")
+        .dump()
+    )

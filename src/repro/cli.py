@@ -11,6 +11,7 @@ answers across invocations.
     python -m repro catalog --browse web
     python -m repro report
     python -m repro obs
+    python -m repro index query --pattern '*:signup:*:*:*:*'
 """
 
 from __future__ import annotations
@@ -112,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--json", action="store_true",
                      help="print the JSON snapshot instead of the "
                           "Prometheus-style exposition")
+
+    index = add_parser(
+        "index", "build/inspect/query Elephant Twin index partitions")
+    index.add_argument("action", choices=("build", "status", "query"),
+                       help="build partitions, report freshness, or run "
+                            "a selective query against them")
+    index.add_argument("--pattern", default="*:signup:*:*:*:*",
+                       help="event pattern for 'query' (default "
+                            "'*:signup:*:*:*:*')")
+    index.add_argument("--user", type=int, default=None,
+                       help="query one user's events instead of a pattern")
+    index.add_argument("--backend", default="serial",
+                       choices=("serial", "threads", "processes"),
+                       help="MapReduce execution backend (default serial)")
+    index.add_argument("--workers", type=int, default=None,
+                       help="worker count for parallel backends")
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection soak asserting zero-loss/"
@@ -325,6 +342,65 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_index(args) -> int:
+    """``index``: build, inspect, or query Elephant Twin partitions.
+
+    ``build`` runs the per-hour MapReduce index jobs; ``status`` reports
+    each hour partition's freshness; ``query`` runs a selective query
+    through the index and cross-checks its rows against the full scan.
+    """
+    from repro.analytics.counting import count_events_raw
+    from repro.elephanttwin.buildjob import build_day_indexes, index_status
+    from repro.pig.loaders import ClientEventsLoader
+    from repro.pig.relation import PigServer
+    from repro.pig.udf import UserEventsFilter
+
+    simulation = _one_day(args)
+    date = simulation.dates()[0]
+    warehouse = simulation.warehouse
+
+    if args.action == "status":
+        rows = index_status(warehouse, *date)
+        print(f"index partitions for {date[0]:04d}-{date[1]:02d}"
+              f"-{date[2]:02d}:")
+        for directory, status in rows:
+            print(f"  {status:8s} {directory}")
+        return 0
+
+    report = build_day_indexes(warehouse, *date, backend=args.backend,
+                               max_workers=args.workers)
+    print(f"built {report.hours_built} hour partition(s), "
+          f"{report.splits_indexed} split(s) indexed, "
+          f"{report.wall_time_s * 1000:.0f} ms")
+    if args.action == "build":
+        return 0
+
+    pig = PigServer(backend=args.backend, max_workers=args.workers)
+    loader = ClientEventsLoader(warehouse, *date)
+    if args.user is not None:
+        relation = pig.load(loader).filter(
+            UserEventsFilter(args.user), description=f"user[{args.user}]")
+        label = f"user {args.user}"
+    else:
+        relation = pig.load(loader).filter_events(args.pattern)
+        label = f"pattern {args.pattern!r}"
+    rows = relation.dump()
+
+    fmt = loader.indexed_input_format(
+        str(args.user) if args.user is not None else args.pattern,
+        field="user" if args.user is not None else "event")
+    scanned = len(fmt.splits()) if fmt is not None else 0
+    skipped = fmt.skipped_splits if fmt is not None else 0
+    unindexed = fmt.unindexed_splits if fmt is not None else 0
+    print(f"{len(rows)} event(s) for {label}")
+    print(f"  splits: {scanned} scanned, {skipped} pruned, "
+          f"{unindexed} unindexed (must-scan)")
+    if args.user is None:
+        full = count_events_raw(warehouse, date, args.pattern)
+        print(f"  unindexed plan agrees: {len(rows) == full}")
+    return 0
+
+
 def cmd_report(args) -> int:
     """``report``: one-day pipeline summary."""
     simulation = _one_day(args)
@@ -350,6 +426,7 @@ _COMMANDS = {
     "catalog": cmd_catalog,
     "script": cmd_script,
     "obs": cmd_obs,
+    "index": cmd_index,
     "chaos": cmd_chaos,
     "report": cmd_report,
 }

@@ -24,7 +24,7 @@ from repro.core.dictionary import EventDictionary
 from repro.core.event import CLIENT_EVENTS_CATEGORY, ClientEvent
 from repro.core.sequences import SessionSequenceRecord
 from repro.core.sessionizer import DEFAULT_INACTIVITY_GAP_MS, Sessionizer
-from repro.hdfs.layout import day_path, sequences_day_path
+from repro.hdfs.layout import data_files, day_path, sequences_day_path
 from repro.hdfs.namenode import HDFS
 from repro.scribe.aggregator import decode_messages
 from repro.thriftlike.codegen import ThriftFileFormat
@@ -84,12 +84,22 @@ class SessionSequenceBuilder:
         self._codec = codec
         self._anonymizer = anonymizer
 
+    @property
+    def warehouse(self) -> HDFS:
+        """The warehouse filesystem this builder reads and writes."""
+        return self._warehouse
+
+    @property
+    def category(self) -> str:
+        """The log category the builder scans."""
+        return self._category
+
     # -- reading raw logs ------------------------------------------------
     def iter_day_events(self, year: int, month: int,
                         day: int) -> Iterator[ClientEvent]:
         """Stream every client event of one day from the warehouse."""
         directory = day_path(self._category, year, month, day)
-        for path in self._warehouse.glob_files(directory):
+        for path in data_files(self._warehouse, directory):
             data = self._warehouse.open_bytes(path)
             for message in decode_messages(data):
                 yield ClientEvent.from_bytes(message)
@@ -98,7 +108,7 @@ class SessionSequenceBuilder:
         """Stored bytes of the day's raw logs (compressed, as on disk)."""
         directory = day_path(self._category, year, month, day)
         return sum(self._warehouse.stored_bytes(p)
-                   for p in self._warehouse.glob_files(directory))
+                   for p in data_files(self._warehouse, directory))
 
     # -- pass 1: histogram + samples + dictionary --------------------------
     def build_histogram(self, year: int, month: int,
@@ -201,7 +211,7 @@ class SessionSequenceBuilder:
 
         directory = day_path(self._category, year, month, day)
         input_format = FileInputFormat(
-            self._warehouse, self._warehouse.glob_files(directory),
+            self._warehouse, data_files(self._warehouse, directory),
             _EVENT_FORMAT.decode)
 
         # Pass 1: histogram of event counts (with a combiner, as the
@@ -289,7 +299,7 @@ class SessionSequenceBuilder:
                        day: int) -> Iterator[SessionSequenceRecord]:
         """Stream the day's materialized session-sequence records."""
         directory = sequences_day_path(year, month, day)
-        for path in self._warehouse.glob_files(directory):
+        for path in data_files(self._warehouse, directory):
             data = self._warehouse.open_bytes(path)
             for record in _SEQUENCE_FORMAT.iter_decode(data):
                 yield record

@@ -29,7 +29,7 @@ from typing import List, Sequence, Tuple
 
 from repro.core.event import CLIENT_EVENTS_CATEGORY, ClientEvent
 from repro.core.sessionizer import Session, Sessionizer
-from repro.hdfs.layout import day_path
+from repro.hdfs.layout import data_files, day_path
 from repro.hdfs.namenode import HDFS
 from repro.mapreduce.inputformats import FileInputFormat, InputSplit
 from repro.thriftlike.codegen import ThriftFileFormat, frame, iter_frames
@@ -143,7 +143,7 @@ class ColumnarLayout:
         if self._warehouse.exists(out_dir):
             self._warehouse.delete(out_dir, recursive=True)
         self._warehouse.mkdirs(out_dir)
-        for i, path in enumerate(self._warehouse.glob_files(raw_dir)):
+        for i, path in enumerate(data_files(self._warehouse, raw_dir)):
             events = _EVENT_FORMAT.decode(self._warehouse.open_bytes(path))
             rows = [[e.user_id, e.session_id, e.event_name] for e in events]
             payload = json.dumps(rows).encode("utf-8")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Set, Tuple
 
 from repro.hdfs.namenode import HDFS
@@ -35,12 +35,28 @@ def event_name_terms(event: Any) -> Iterable[str]:
     return (event.event_name,)
 
 
+def user_id_terms(event: Any) -> Iterable[str]:
+    """Extractor for per-user selective queries: index by user id."""
+    return (str(event.user_id),)
+
+
 @dataclass
 class BlockIndex:
-    """term -> set of (path, split index) that contain it."""
+    """term -> set of (path, split index) that contain it.
+
+    ``covered`` records, per file path, how many splits the build
+    actually indexed. The query side uses it to tell "this split has no
+    matching records" (prune) apart from "this split was never indexed"
+    (must scan): a path absent from ``covered``, or whose live split
+    count no longer matches the recorded one (the file grew blocks, so
+    every split's record range shifted), falls back to a full scan.
+    Indexes deserialized from the legacy payload have an empty coverage
+    map and therefore prune nothing -- stale-safe by construction.
+    """
 
     postings: Dict[str, Set[SplitKey]]
     total_splits: int
+    covered: Dict[str, int] = field(default_factory=dict)
 
     def splits_for(self, terms: Iterable[str]) -> Set[SplitKey]:
         """All splits containing at least one of the given terms."""
@@ -53,11 +69,16 @@ class BlockIndex:
         """All indexed terms, sorted."""
         return sorted(self.postings)
 
+    def covers(self, path: str, index: int) -> bool:
+        """True when split ``index`` of ``path`` was seen by the build."""
+        return index < self.covered.get(path, 0)
+
     # -- persistence ---------------------------------------------------
     def to_bytes(self) -> bytes:
         """Serialize the index for storage alongside the data."""
         payload = {
             "total_splits": self.total_splits,
+            "covered": dict(sorted(self.covered.items())),
             "postings": {
                 term: sorted([path, index] for path, index in keys)
                 for term, keys in self.postings.items()
@@ -67,13 +88,15 @@ class BlockIndex:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BlockIndex":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes` (legacy payloads: no coverage)."""
         payload = json.loads(data.decode("utf-8"))
         postings = {
             term: {(path, index) for path, index in keys}
             for term, keys in payload["postings"].items()
         }
-        return cls(postings=postings, total_splits=payload["total_splits"])
+        return cls(postings=postings, total_splits=payload["total_splits"],
+                   covered={path: int(count) for path, count in
+                            payload.get("covered", {}).items()})
 
 
 class Indexer:
@@ -90,14 +113,17 @@ class Indexer:
               directory: str) -> BlockIndex:
         """Index every split of ``input_format``; store under ``directory``."""
         postings: Dict[str, Set[SplitKey]] = defaultdict(set)
+        covered: Dict[str, int] = defaultdict(int)
         splits = input_format.splits()
         for split in splits:
             key = (split.path, split.index)
+            covered[split.path] += 1
             for record in input_format.read_split(split):
                 for term in self._extractor(record):
                     postings[term].add(key)
         index = BlockIndex(postings=dict(postings),
-                           total_splits=len(splits))
+                           total_splits=len(splits),
+                           covered=dict(covered))
         self._fs.create(f"{directory}/{INDEX_FILE}", index.to_bytes(),
                         overwrite=True)
         return index

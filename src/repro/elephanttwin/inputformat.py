@@ -7,43 +7,95 @@ In Pig, for example, we can easily support push-down of select
 operations." (§6)
 
 :class:`IndexedInputFormat` wraps a :class:`FileInputFormat` and a term
-set; :meth:`splits` consults the block index and returns only splits that
-can contain matching records. A Pig ``load(...).filter(...)`` over it
-produces identical rows to the unindexed plan -- just with fewer map
-tasks and fewer bytes scanned.
+set; :meth:`splits` consults the block index and prunes splits the index
+*proves* cannot contain matching records. The proof requires coverage:
+a split whose file is absent from the index's coverage map -- data that
+landed after the build, or a file that has since grown blocks (shifting
+every split's record range) -- is never pruned. It is returned as
+*must-scan* work instead, so an indexed plan always produces identical
+rows to the unindexed plan, merely with fewer map tasks when the index
+is fresh.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+import logging
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.elephanttwin.index import BlockIndex
 from repro.mapreduce.inputformats import FileInputFormat, InputSplit
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_default_registry
+
+logger = logging.getLogger(__name__)
 
 
 class IndexedInputFormat:
-    """A FileInputFormat filtered through a :class:`BlockIndex`."""
+    """A FileInputFormat filtered through a :class:`BlockIndex`.
+
+    Split selection is three-way, per file path:
+
+    - *covered* path (live split count equals the count recorded at build
+      time) and split listed for a wanted term -> selected;
+    - *covered* path, split not listed -> pruned (``skipped_splits``,
+      ``pruned_bytes``);
+    - *uncovered* path (never indexed, or block count changed since the
+      build) -> every split selected as must-scan (``unindexed_splits``).
+
+    The historical bug lived here: splits absent from the index were
+    dropped as if proven empty, silently losing rows whenever data landed
+    after the index build. Coverage makes the distinction structural.
+    """
 
     def __init__(self, base: FileInputFormat, index: BlockIndex,
-                 terms: Iterable[str]) -> None:
+                 terms: Iterable[str], field: str = "event") -> None:
         self._base = base
         self._index = index
         self._terms = set(terms)
+        self._field = field
         #: Splits the index proved empty for the terms (reporting only;
         #: the engine's map-task counter drops automatically).
         self.skipped_splits = 0
+        #: Splits outside index coverage, returned as must-scan work.
+        self.unindexed_splits = 0
+        #: Bytes of pruned splits the query never has to touch.
+        self.pruned_bytes = 0
 
     def splits(self) -> List[InputSplit]:
-        """Only the splits the index says can match; counts the rest as skipped."""
+        """The splits a correct selective scan must read.
+
+        Pruning decisions and their volume are mirrored into the metrics
+        registry (``elephanttwin_splits_skipped_total``,
+        ``elephanttwin_splits_unindexed_total``,
+        ``elephanttwin_bytes_pruned_total``), labelled by indexed field.
+        """
+        base_splits = self._base.splits()
+        live_counts: Dict[str, int] = {}
+        for split in base_splits:
+            live_counts[split.path] = max(live_counts.get(split.path, 0),
+                                          split.index + 1)
         wanted = self._index.splits_for(self._terms)
         selected: List[InputSplit] = []
-        skipped = 0
-        for split in self._base.splits():
-            if (split.path, split.index) in wanted:
+        skipped = unindexed = pruned_bytes = 0
+        for split in base_splits:
+            if self._index.covered.get(split.path) != live_counts[split.path]:
+                unindexed += 1
+                selected.append(split)
+            elif (split.path, split.index) in wanted:
                 selected.append(split)
             else:
                 skipped += 1
+                pruned_bytes += split.length_bytes
         self.skipped_splits = skipped
+        self.unindexed_splits = unindexed
+        self.pruned_bytes = pruned_bytes
+        registry = get_default_registry()
+        registry.counter(obs_names.ELEPHANTTWIN_SPLITS_SKIPPED,
+                         field=self._field).inc(skipped)
+        registry.counter(obs_names.ELEPHANTTWIN_SPLITS_UNINDEXED,
+                         field=self._field).inc(unindexed)
+        registry.counter(obs_names.ELEPHANTTWIN_BYTES_PRUNED,
+                         field=self._field).inc(pruned_bytes)
         return selected
 
     def read_split(self, split: InputSplit) -> List[Any]:
@@ -58,14 +110,22 @@ class IndexedEventsLoader:
     term list), then hands the expansion to :class:`IndexedInputFormat`.
     The caller still applies its own filter for exactness -- the index
     only prunes whole splits, it never fabricates matches.
+
+    A pattern expanding to *zero* indexed terms is loud, not silent: the
+    loader logs a warning and still routes through the coverage-checked
+    input format, so any unindexed splits are scanned rather than the
+    query returning empty because the index simply had not seen the term
+    yet.
     """
 
     def __init__(self, base_loader: Any, index: BlockIndex,
-                 pattern: str) -> None:
+                 pattern: str, field: str = "event") -> None:
         from repro.core.names import EventPattern
 
         self._base_loader = base_loader
         self._index = index
+        self._pattern = pattern
+        self._field = field
         matcher = EventPattern(pattern)
         self._terms = [t for t in index.terms() if matcher.matches(t)]
 
@@ -75,6 +135,28 @@ class IndexedEventsLoader:
         return list(self._terms)
 
     def input_format(self) -> IndexedInputFormat:
-        """The pushdown-filtered input format."""
+        """The pushdown-filtered input format.
+
+        Never returns an empty plan just because no indexed term matched:
+        uncovered splits still flow through as must-scan work.
+        """
+        if not self._terms:
+            logger.warning(
+                "pattern %r matched no indexed %r terms; covered splits "
+                "will be pruned, unindexed splits scanned", self._pattern,
+                self._field)
         return IndexedInputFormat(self._base_loader.input_format(),
-                                  self._index, self._terms)
+                                  self._index, self._terms,
+                                  field=self._field)
+
+
+def indexed_format_over(fs: Any, paths: Iterable[str], decode: Any,
+                        index: BlockIndex, terms: Iterable[str],
+                        field: str = "event",
+                        ) -> Optional[IndexedInputFormat]:
+    """Convenience: an :class:`IndexedInputFormat` over explicit paths."""
+    paths = list(paths)
+    if not paths:
+        return None
+    return IndexedInputFormat(FileInputFormat(fs, paths, decode), index,
+                              terms, field=field)

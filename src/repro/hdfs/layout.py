@@ -19,6 +19,12 @@ LOGS_ROOT = "/logs"
 STAGING_ROOT = "/staging"
 SEQUENCES_ROOT = "/session_sequences"
 
+#: Name of the per-directory Elephant Twin index subdirectory. Index
+#: partitions live *beside* the data they cover (``.../HH/_index/``), so
+#: every scanner of warehouse data must exclude them -- use
+#: :func:`data_files` rather than raw ``glob_files`` on data trees.
+INDEX_SUBDIR = "_index"
+
 _HOUR_RE = re.compile(
     r"^(?P<root>/.+?)/(?P<category>[a-z0-9_\-]+)/"
     r"(?P<year>\d{4})/(?P<month>\d{2})/(?P<day>\d{2})/(?P<hour>\d{2})$"
@@ -101,6 +107,31 @@ def hours_of_day(category: str, year: int, month: int,
                  day: int) -> List[LogHour]:
     """The 24 :class:`LogHour` values of one day."""
     return [LogHour(category, year, month, day, hour) for hour in range(24)]
+
+
+def is_index_path(path: str) -> bool:
+    """True if ``path`` lies inside an Elephant Twin ``_index`` directory
+    (including the build-time ``_index.tmp`` staging directory)."""
+    for part in path.split("/"):
+        if part == INDEX_SUBDIR or part == f"{INDEX_SUBDIR}.tmp":
+            return True
+    return False
+
+
+def data_files(fs, directory: str) -> List[str]:
+    """All *data* files under ``directory``: glob minus index partitions.
+
+    This is the scanner every data reader (loaders, the session-sequence
+    builder, columnar projections) must use once indexes live alongside
+    the data -- a raw ``glob_files`` would hand index JSON to a Thrift
+    decoder.
+    """
+    return [p for p in fs.glob_files(directory) if not is_index_path(p)]
+
+
+def hour_index_dir(hour_path: str) -> str:
+    """The ``_index`` directory of one per-hour data directory."""
+    return f"{hour_path}/{INDEX_SUBDIR}"
 
 
 def staging_path(datacenter: str, hour: LogHour) -> str:

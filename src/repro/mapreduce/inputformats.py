@@ -7,9 +7,11 @@ blocks of input data. Splits of the same file divide its records evenly.
 
 Elephant Twin integrates here: §6 says its indexing framework "integrates
 with Hadoop at the level of InputFormats", which is why
-:class:`repro.elephanttwin.inputformat.IndexedInputFormat` can subclass
-:class:`FileInputFormat` and transparently drop splits that cannot match
-a selection predicate.
+:class:`repro.elephanttwin.inputformat.IndexedInputFormat` *wraps* a
+:class:`FileInputFormat` (same ``splits()``/``read_split()`` surface, not
+a subclass) and transparently drops splits the index proves cannot match
+a selection predicate -- while passing splits the index has never seen
+through as must-scan work.
 """
 
 from __future__ import annotations
@@ -53,8 +55,11 @@ class FileInputFormat:
     @classmethod
     def over_directory(cls, fs: HDFS, directory: str,
                        decode: Callable[[bytes], List[Any]]) -> "FileInputFormat":
-        """All files under a directory prefix."""
-        return cls(fs, fs.glob_files(directory), decode)
+        """All data files under a directory prefix (index files excluded:
+        an ``_index/`` partition beside the data is never job input)."""
+        from repro.hdfs.layout import data_files
+
+        return cls(fs, data_files(fs, directory), decode)
 
     # -- planning ----------------------------------------------------------
     def splits(self) -> List[InputSplit]:
@@ -69,10 +74,14 @@ class FileInputFormat:
             for i in range(blocks):
                 start = min(i * per_split, len(records))
                 end = min((i + 1) * per_split, len(records))
+                # Trailing blocks can overrun the file when block_count
+                # exceeds ceil(length / bytes_per_split); clamp to >= 0
+                # so no split ever reports negative scan bytes.
                 out.append(InputSplit(
                     path=path, index=i, start_record=start, end_record=end,
-                    length_bytes=min(bytes_per_split,
-                                     status.length - i * bytes_per_split),
+                    length_bytes=max(0, min(
+                        bytes_per_split,
+                        status.length - i * bytes_per_split)),
                 ))
         return out
 

@@ -4,7 +4,7 @@ Naming conventions (documented in ``docs/observability.md``):
 
 - metrics are ``<subsystem>_<noun>[_<unit>][_total]`` -- subsystems are
   ``scribe_daemon``, ``scribe_aggregator``, ``logmover``, ``mapreduce``,
-  ``oink``, and the cross-stage ``pipeline``;
+  ``elephanttwin``, ``oink``, and the cross-stage ``pipeline``;
 - monotonically-increasing counters end in ``_total``;
 - gauges name the instantaneous quantity (``scribe_daemon_buffer_depth``);
 - histograms carry their unit as a suffix (``_ms``, ``_seconds``);
@@ -58,6 +58,12 @@ MAPREDUCE_COUNTER_PREFIX = "mapreduce_"
 MAPREDUCE_TASK_WALL_TIME = "mapreduce_task_wall_time_seconds"
 MAPREDUCE_TASK_QUEUE_WAIT = "mapreduce_task_queue_wait_seconds"
 MAPREDUCE_WORKERS = "mapreduce_workers"
+
+# -- elephant twin (selective-query index layer) --------------------------
+ELEPHANTTWIN_SPLITS_SKIPPED = "elephanttwin_splits_skipped_total"
+ELEPHANTTWIN_SPLITS_UNINDEXED = "elephanttwin_splits_unindexed_total"
+ELEPHANTTWIN_BYTES_PRUNED = "elephanttwin_bytes_pruned_total"
+ELEPHANTTWIN_INDEX_BUILD_SECONDS = "elephanttwin_index_build_seconds"
 
 # -- oink ----------------------------------------------------------------
 OINK_JOB_RUNS = "oink_job_runs_total"

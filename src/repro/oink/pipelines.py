@@ -13,6 +13,7 @@ catalog rebuild follow the same daily cadence.
         └── session_sequences (daily, gated on the day's hours moved)
                 └── catalog (daily)
         └── rollups (daily)
+        └── index_build (daily, optional: Elephant Twin partitions)
 """
 
 from __future__ import annotations
@@ -40,6 +41,8 @@ class PipelineState:
     builds: Dict[Date, object] = field(default_factory=dict)
     rollups: Dict[Date, RollupResult] = field(default_factory=dict)
     catalogs: Dict[Date, ClientEventCatalog] = field(default_factory=dict)
+    #: Per-day Elephant Twin build reports (when index_build is enabled).
+    indexes: Dict[Date, object] = field(default_factory=dict)
 
     def hours_moved_for_day(self, date: Date) -> int:
         """How many of a day's hours the mover has published."""
@@ -57,9 +60,15 @@ def _date_of_period(period_start_ms: int) -> Date:
 def register_standard_pipeline(oink: Oink, mover: LogMover,
                                builder: SessionSequenceBuilder,
                                rollup_job: Optional[RollupJob] = None,
-                               category: str = CLIENT_EVENTS_CATEGORY
+                               category: str = CLIENT_EVENTS_CATEGORY,
+                               build_indexes: bool = False
                                ) -> PipelineState:
     """Register the mover/build/rollup/catalog jobs on an Oink instance.
+
+    ``build_indexes`` adds a daily ``index_build`` job that incrementally
+    (re)builds the day's Elephant Twin partitions once the mover has
+    published hours -- the warehouse-integration point that keeps
+    selective-query indexes as fresh as the data without a manual step.
 
     Returns the :class:`PipelineState` the jobs fill in as the caller
     advances the clock and calls :meth:`Oink.run_pending`.
@@ -91,6 +100,14 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
             catalog.carry_descriptions_from(previous)
         state.catalogs[date] = catalog
 
+    def build_index_partitions(period_start: int) -> None:
+        from repro.elephanttwin.buildjob import build_day_indexes
+
+        date = _date_of_period(period_start)
+        state.indexes[date] = build_day_indexes(
+            builder.warehouse, *date, category=category,
+            built_at_ms=period_start)
+
     def day_has_moved_hours(period_start: int) -> bool:
         return state.hours_moved_for_day(_date_of_period(period_start)) > 0
 
@@ -101,6 +118,9 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
                gate=day_has_moved_hours)
     oink.daily("catalog", build_catalog,
                depends_on=["session_sequences"])
+    if build_indexes:
+        oink.daily("index_build", build_index_partitions,
+                   depends_on=["log_mover"], gate=day_has_moved_hours)
     return state
 
 

@@ -126,12 +126,41 @@ class PlanExecutor:
         raise PlanError(f"unknown plan node: {node!r}")
 
     # -- job construction ------------------------------------------------
+    @staticmethod
+    def _load_input_format(load: LoadNode, map_ops: List[Any]) -> Any:
+        """The load's input format, with index pushdown when possible.
+
+        Walks the fused map-side chain looking for a filter whose
+        predicate carries an ``index_lookup`` hint (e.g.
+        :class:`repro.pig.udf.EventNameFilter`). Filters commute with
+        split selection, so the scan continues past unhinted filters and
+        stops at the first row-shape-changing operator. When the loader
+        can serve the hint (``indexed_input_format``) and an index
+        partition exists, the selective format replaces the full scan;
+        the filter itself still runs, so rows are identical either way.
+        """
+        for op in map_ops:
+            if not isinstance(op, FilterNode):
+                break
+            lookup = getattr(op.predicate, "index_lookup", None)
+            if lookup is None:
+                continue
+            make = getattr(load.loader, "indexed_input_format", None)
+            if make is None:
+                break
+            field, value = lookup
+            indexed = make(value, field=field)
+            if indexed is not None:
+                return indexed
+            break
+        return load.loader.input_format()
+
     def _input_for(self, child: Any) -> Tuple[Any, List[Any]]:
         """Input format + fused map ops for one upstream pipeline."""
         rows, pending = self._execute(child)
         if pending and isinstance(pending[0], LoadNode):
             load, map_ops = pending[0], pending[1:]
-            return load.loader.input_format(), map_ops
+            return self._load_input_format(load, map_ops), map_ops
         return (InMemoryInputFormat(rows, self._per_split), pending)
 
     def _run_shuffle(self, node: Any, key_fn: Callable[[Any], Any],
@@ -159,8 +188,8 @@ class PlanExecutor:
     def _run_map_only(self, name: str, rows: List[Any],
                       pending: List[Any]) -> List[Any]:
         if pending and isinstance(pending[0], LoadNode):
-            input_format = pending[0].loader.input_format()
             map_ops = pending[1:]
+            input_format = self._load_input_format(pending[0], map_ops)
         else:
             input_format = InMemoryInputFormat(rows, self._per_split)
             map_ops = pending

@@ -8,11 +8,12 @@ event logs; Elephant-Bird-derived readers do the record decoding.
 
 from __future__ import annotations
 
+import posixpath
 from typing import Any, List, Optional, Sequence
 
 from repro.core.event import CLIENT_EVENTS_CATEGORY, ClientEvent
 from repro.core.sequences import SessionSequenceRecord
-from repro.hdfs.layout import LogHour, day_path, sequences_day_path
+from repro.hdfs.layout import LogHour, data_files, day_path, sequences_day_path
 from repro.hdfs.namenode import HDFS
 from repro.mapreduce.inputformats import FileInputFormat, InMemoryInputFormat
 from repro.thriftlike.codegen import ThriftFileFormat
@@ -37,22 +38,59 @@ class ClientEventsLoader:
         self._hours = list(hours) if hours is not None else None
 
     def paths(self) -> List[str]:
-        """The warehouse files this loader covers."""
+        """The warehouse data files this loader covers (index partitions
+        beside the data are never rows)."""
         if self._hours is None:
             directory = day_path(self._category, self._year, self._month,
                                  self._day)
-            return self._warehouse.glob_files(directory)
+            return data_files(self._warehouse, directory)
         out: List[str] = []
         for hour in self._hours:
             log_hour = LogHour(self._category, self._year, self._month,
                                self._day, hour)
-            out.extend(self._warehouse.glob_files(log_hour.path()))
+            out.extend(data_files(self._warehouse, log_hour.path()))
         return out
+
+    def hour_dirs(self) -> List[str]:
+        """The hour directories holding the covered data files, sorted."""
+        return sorted({posixpath.dirname(path) for path in self.paths()})
 
     def input_format(self) -> FileInputFormat:
         """Block-per-split input format over the covered files."""
         return FileInputFormat(self._warehouse, self.paths(),
                                _EVENT_FORMAT.decode)
+
+    def indexed_input_format(self, value: str, field: str = "event"
+                             ) -> Optional[Any]:
+        """Pushdown plan: the covered files filtered through their
+        Elephant Twin index partitions.
+
+        Discovers committed per-hour partitions beside the loaded data
+        and merges the requested field's postings across them. For the
+        ``event`` field ``value`` is an event *pattern* expanded against
+        the indexed term universe; other fields match ``value`` exactly.
+        Returns None when no partition exists (caller falls back to the
+        full scan) -- hours without a partition still flow through the
+        returned format as must-scan splits, so pushdown never changes
+        query results.
+        """
+        from repro.elephanttwin.buildjob import WarehouseIndex
+        from repro.elephanttwin.inputformat import IndexedInputFormat
+
+        warehouse_index = WarehouseIndex.discover(self._warehouse,
+                                                  self.hour_dirs())
+        if not warehouse_index:
+            return None
+        index = warehouse_index.field(field)
+        if field == "event":
+            from repro.core.names import EventPattern
+
+            matcher = EventPattern(value)
+            terms = [t for t in index.terms() if matcher.matches(t)]
+        else:
+            terms = [value]
+        return IndexedInputFormat(self.input_format(), index, terms,
+                                  field=field)
 
 
 class SessionSequencesLoader:
@@ -68,9 +106,10 @@ class SessionSequencesLoader:
         self._year, self._month, self._day = year, month, day
 
     def paths(self) -> List[str]:
-        """The day's session-sequence part files."""
+        """The day's session-sequence part files (index partitions
+        excluded)."""
         directory = sequences_day_path(self._year, self._month, self._day)
-        return self._warehouse.glob_files(directory)
+        return data_files(self._warehouse, directory)
 
     def input_format(self) -> FileInputFormat:
         """Block-per-split input format over the sequence store."""

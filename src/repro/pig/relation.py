@@ -54,6 +54,19 @@ class PigRelation:
         return PigRelation(self._server,
                            FilterNode(self.node, predicate, description))
 
+    def filter_events(self, pattern: str) -> "PigRelation":
+        """FILTER client events BY an event-name pattern.
+
+        Sugar for ``filter(EventNameFilter(pattern))``: the UDF carries
+        an index-pushdown hint, so when the loaded data has Elephant Twin
+        partitions the executor swaps the full scan for a selective one
+        (same rows, fewer map tasks).
+        """
+        from repro.pig.udf import EventNameFilter
+
+        return self.filter(EventNameFilter(pattern),
+                           description=f"filter_events[{pattern}]")
+
     # -- shuffle operators -------------------------------------------------
     def group_by(self, key_fn: Callable[[Any], Any],
                  description: str = "group") -> "PigRelation":

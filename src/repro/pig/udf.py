@@ -27,6 +27,56 @@ class EvalFunc:
         return self.exec(row)
 
 
+class EventNameFilter(EvalFunc):
+    """Boolean UDF: does a client event's name match an event pattern?
+
+    Carries an ``index_lookup`` hint -- ``("event", pattern)`` -- so the
+    plan executor can push the selection down to an Elephant Twin index
+    when one covers the loaded data. Picklable (pattern re-compiled on
+    unpickle) so filtered plans run on the ``processes`` backend.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        from repro.core.names import EventPattern
+
+        self.pattern = pattern
+        self._matcher = EventPattern(pattern)
+        #: Pushdown hint consumed by :class:`repro.pig.executor.PlanExecutor`.
+        self.index_lookup = ("event", pattern)
+
+    def exec(self, row: Any) -> bool:  # noqa: A003 - Pig's name
+        """True when the row's event name matches the pattern."""
+        return self._matcher.matches(row.event_name)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_matcher"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        from repro.core.names import EventPattern
+
+        self.__dict__.update(state)
+        self._matcher = EventPattern(self.pattern)
+
+
+class UserEventsFilter(EvalFunc):
+    """Boolean UDF: does a client event belong to one user?
+
+    ``index_lookup`` is ``("user", str(user_id))``: the user field is
+    indexed by exact term, no pattern expansion.
+    """
+
+    def __init__(self, user_id: int) -> None:
+        self.user_id = int(user_id)
+        #: Pushdown hint consumed by :class:`repro.pig.executor.PlanExecutor`.
+        self.index_lookup = ("user", str(self.user_id))
+
+    def exec(self, row: Any) -> bool:  # noqa: A003 - Pig's name
+        """True when the row's user_id equals the target user."""
+        return row.user_id == self.user_id
+
+
 class UDFRegistry:
     """Named UDF definitions: ``define('CountClientEvents', udf)``."""
 
