@@ -106,6 +106,18 @@ class PipelineHealth:
     latency_p50_ms: Optional[float]
     latency_p95_ms: Optional[float]
     latency_p99_ms: Optional[float]
+    # Continuous-monitoring section (zero until a PipelineMonitor runs
+    # against the registry; defaults keep older callers constructing the
+    # panel positionally-by-name working unchanged).
+    alerts_active: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    audits_run: int = 0
+    hours_by_verdict: Dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.hours_by_verdict is None:
+            self.hours_by_verdict = {}
 
     @property
     def delivery_rate(self) -> Optional[float]:
@@ -113,6 +125,12 @@ class PipelineHealth:
         if self.accepted == 0:
             return None
         return self.landed / self.accepted
+
+    @property
+    def monitored(self) -> bool:
+        """True when continuous monitoring has run against this registry."""
+        return bool(self.audits_run or self.alerts_fired
+                    or self.alerts_active)
 
 
 def pipeline_health(registry: Optional[MetricsRegistry] = None
@@ -126,6 +144,11 @@ def pipeline_health(registry: Optional[MetricsRegistry] = None
     if registry is None:
         registry = get_default_registry()
     latency = registry.merged_histogram(obs_names.PIPELINE_DELIVERY_LATENCY)
+    hours_by_verdict = {
+        labels.get("verdict", ""): int(metric.value)
+        for labels, metric in registry.series(obs_names.QUALITY_HOURS)
+        if int(metric.value)
+    }
     return PipelineHealth(
         accepted=int(registry.total(obs_names.DAEMON_ACCEPTED)),
         sent=int(registry.total(obs_names.DAEMON_SENT)),
@@ -139,6 +162,11 @@ def pipeline_health(registry: Optional[MetricsRegistry] = None
         latency_p50_ms=latency.percentile(0.5),
         latency_p95_ms=latency.percentile(0.95),
         latency_p99_ms=latency.percentile(0.99),
+        alerts_active=int(registry.total(obs_names.ALERTS_ACTIVE)),
+        alerts_fired=int(registry.total(obs_names.ALERTS_FIRED)),
+        alerts_resolved=int(registry.total(obs_names.ALERTS_RESOLVED)),
+        audits_run=int(registry.total(obs_names.QUALITY_AUDITS)),
+        hours_by_verdict=hours_by_verdict,
     )
 
 
@@ -164,6 +192,15 @@ def format_pipeline_health(health: PipelineHealth) -> str:
         )
     else:
         lines.append("  e2e latency: no traced deliveries")
+    if health.monitored:
+        lines.append(
+            f"  alerts   active {health.alerts_active:d}   "
+            f"fired {health.alerts_fired:d}   "
+            f"resolved {health.alerts_resolved:d}")
+        verdicts = " ".join(
+            f"{verdict}={count}" for verdict, count
+            in sorted(health.hours_by_verdict.items())) or "none audited"
+        lines.append(f"  hours    {verdicts}")
     return "\n".join(lines)
 
 

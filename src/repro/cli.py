@@ -138,6 +138,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "inject identical faults")
     chaos.add_argument("--hours", type=int, default=2,
                        help="simulated hours of traffic (default 2)")
+    chaos.add_argument("--monitor", action="store_true",
+                       help="attach the pipeline monitor and audit that "
+                            "every injected outage fires (and resolves) "
+                            "its alert")
+    chaos.add_argument("--no-faults", action="store_true",
+                       help="run the same traffic without the fault "
+                            "storm (with --monitor: assert zero false-"
+                            "positive alerts)")
+
+    monitor = sub.add_parser(
+        "monitor", help="replay a simulated day through the pipeline "
+                        "monitor and render series, per-hour verdicts, "
+                        "and the alert log")
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="traffic/storm seed (default 0)")
+    monitor.add_argument("--hours", type=int, default=24,
+                         help="simulated hours to replay (default 24)")
+    monitor.add_argument("--faults", action="store_true",
+                         help="inject the chaos fault storm (default: "
+                              "clean traffic)")
+    monitor.add_argument("--quiet-hour", type=int, action="append",
+                         default=[], metavar="H",
+                         help="suppress traffic during absolute hour H "
+                              "(repeatable); with >= 24h of history the "
+                              "seasonal baseline rule flags it")
 
     add_parser("report", "one-day pipeline summary (quick look)")
     return parser
@@ -337,8 +362,43 @@ def cmd_chaos(args) -> int:
     from repro.obs import MetricsRegistry, set_default_registry
 
     set_default_registry(MetricsRegistry())
-    report = run_chaos(args.seed, hours=args.hours)
+    report = run_chaos(args.seed, hours=args.hours, monitor=args.monitor,
+                       faults=not args.no_faults)
     print(report.summary())
+    if report.monitor is not None:
+        from repro.obs.monitor import format_alerts, format_audits
+
+        print()
+        print(format_audits(report.monitor.audits))
+        print()
+        print(format_alerts(report.monitor.engine))
+    return 0 if report.ok else 1
+
+
+def cmd_monitor(args) -> int:
+    """``monitor``: replay a simulated day under continuous monitoring.
+
+    Runs the chaos harness traffic (with or without the fault storm)
+    with a :class:`PipelineMonitor` attached, then renders the health
+    panel, sparkline series, per-hour verdicts, and the alert log.
+    """
+    from repro.analytics.dashboard import (
+        format_pipeline_health,
+        pipeline_health,
+    )
+    from repro.faults.chaos import run_chaos
+    from repro.obs import MetricsRegistry, set_default_registry
+
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    report = run_chaos(args.seed, hours=args.hours, monitor=True,
+                       faults=args.faults,
+                       quiet_hours=set(args.quiet_hour))
+    print(report.summary())
+    print()
+    print(format_pipeline_health(pipeline_health(registry)))
+    print()
+    print(report.monitor.render())
     return 0 if report.ok else 1
 
 
@@ -428,6 +488,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "index": cmd_index,
     "chaos": cmd_chaos,
+    "monitor": cmd_monitor,
     "report": cmd_report,
 }
 

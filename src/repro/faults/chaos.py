@@ -20,7 +20,7 @@ report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.faults.injector import (
     KIND_ACK_LOST,
@@ -39,6 +39,12 @@ from repro.hdfs.layout import LOGS_ROOT, hour_for_millis
 from repro.logmover.mover import LogMover
 from repro.obs import names as obs_names
 from repro.obs.metrics import get_default_registry
+from repro.obs.monitor import (
+    DataQualityAuditor,
+    PipelineMonitor,
+    VERDICT_COMPLETE,
+    standard_rules,
+)
 from repro.scribe.aggregator import decode_messages
 from repro.scribe.cluster import ScribeDeployment
 from repro.scribe.message import CategoryConfig, LogEntry, decode_envelope
@@ -71,7 +77,14 @@ class ChaosReport:
     faults_injected: int = 0
     retry_attempts: int = 0
     mover_restarts: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    alerts_unresolved: int = 0
+    hour_verdicts: Dict[str, str] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
+    #: The live monitor when the soak ran with ``monitor=True`` (not
+    #: serialized; carries the series/audit/alert state for rendering).
+    monitor: Optional[PipelineMonitor] = None
 
     @property
     def ok(self) -> bool:
@@ -90,6 +103,14 @@ class ChaosReport:
             f"duplicates_skipped={self.duplicates_skipped} "
             f"mover_restarts={self.mover_restarts}",
         ]
+        if self.monitor is not None:
+            complete = sum(1 for v in self.hour_verdicts.values()
+                           if v == VERDICT_COMPLETE)
+            lines.append(
+                f"  alerts_fired={self.alerts_fired} "
+                f"alerts_resolved={self.alerts_resolved} "
+                f"alerts_unresolved={self.alerts_unresolved} "
+                f"hours_complete={complete}/{len(self.hour_verdicts)}")
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
         return "\n".join(lines)
@@ -140,16 +161,29 @@ def default_chaos_plan(seed: int, hours: int) -> FaultPlan:
     return plan
 
 
-def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
+def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
+              faults: bool = True,
+              quiet_hours: Optional[Set[int]] = None) -> ChaosReport:
     """Run the soak and return its audited report.
 
     The deployment is two datacenters (east/west) of three hosts and two
     durable aggregators each, sharing one retry policy; hours are moved
     at each boundary after a full drain, and a final sweep catches any
     backoff spillover into the trailing hour.
+
+    ``monitor=True`` attaches a :class:`PipelineMonitor` (standard rule
+    set) that ticks after every traffic slice and hour boundary, and the
+    audit additionally asserts alert coverage: on a faulted run every
+    injected outage/crash class must fire -- and later resolve -- its
+    alert; on a fault-free run (``faults=False``) any fired alert is a
+    false positive and fails the soak. ``quiet_hours`` suppresses
+    traffic during the given absolute hour indices (the seasonal-rule
+    demo knob; it also disables the false-positive check, since a quiet
+    hour legitimately fires the seasonal deviation alert).
     """
     if hours < 1:
         raise ValueError("need at least one hour")
+    quiet = quiet_hours or set()
     report = ChaosReport(seed=seed, hours=hours)
     policy = RetryPolicy(max_attempts=5, base_delay_ms=100,
                          max_delay_ms=5_000, seed=seed)
@@ -164,11 +198,20 @@ def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
                           for name, dc in deployment.datacenters.items()},
         warehouse=deployment.warehouse,
         clock=clock, retry_policy=policy)
-    plan = default_chaos_plan(seed, hours)
+    plan = default_chaos_plan(seed, hours) if faults else FaultPlan()
     injector = FaultInjector(plan, clock=clock, seed=seed)
     previous = get_default_injector()
     set_default_injector(injector)
     registry = get_default_registry()
+    pipeline_monitor: Optional[PipelineMonitor] = None
+    if monitor:
+        daemons = [d for dc in deployment.datacenters.values()
+                   for d in dc.daemons]
+        pipeline_monitor = PipelineMonitor(
+            auditor=DataQualityAuditor(mover, daemons=daemons),
+            rules=standard_rules(),
+            max_samples=max(2048, (hours + 1) * (SLICES_PER_HOUR + 2)))
+        report.monitor = pipeline_monitor
     sent_payloads: List[bytes] = []
     counter = 0
     try:
@@ -180,6 +223,8 @@ def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
                     clock.advance(target - clock.now())
                 for dc in deployment.datacenters.values():
                     for daemon in dc.daemons:
+                        if h in quiet:
+                            break  # a suppressed-traffic hour
                         for _ in range(ENTRIES_PER_SLICE):
                             payload = f"m{counter:06d}".encode()
                             counter += 1
@@ -189,6 +234,8 @@ def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
                     # restart replays the durable write-ahead buffer.
                     if s >= 2:
                         _restart_dead(deployment)
+                if pipeline_monitor is not None:
+                    pipeline_monitor.tick(clock.now())
             boundary = (h + 1) * HOUR_MS
             if clock.now() < boundary:
                 clock.advance(boundary - clock.now())
@@ -196,6 +243,8 @@ def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
             hour = hour_for_millis(CHAOS_CATEGORY, hour_start)
             if mover.hour_has_data(hour):
                 report.mover_restarts += _move_with_restarts(mover, hour)
+            if pipeline_monitor is not None:
+                pipeline_monitor.tick(clock.now())
         # Backoff during the last hour can spill a few receives past the
         # final boundary; sweep every hour that still has staged data.
         injector.disable()
@@ -204,10 +253,19 @@ def run_chaos(seed: int, hours: int = 2) -> ChaosReport:
             hour = hour_for_millis(CHAOS_CATEGORY, h * HOUR_MS)
             if mover.hour_has_data(hour):
                 report.mover_restarts += _move_with_restarts(mover, hour)
+        if pipeline_monitor is not None:
+            # Cooldown ticks: monitoring outlives the traffic, so event
+            # alerts (failovers, mover crashes) get their quiet samples
+            # and resolve before the coverage audit inspects them.
+            pipeline_monitor.tick(clock.now())
+            for _ in range(4):
+                clock.advance(MINUTE_MS)
+                pipeline_monitor.tick(clock.now())
     finally:
         set_default_injector(previous)
 
-    _audit(report, deployment, mover, plan, sent_payloads)
+    _audit(report, deployment, mover, plan, sent_payloads,
+           faults=faults, quiet_hours=quiet)
     report.faults_injected = injector.injected_total
     report.retry_attempts = int(registry.total(obs_names.RETRY_ATTEMPTS))
     report.duplicates_skipped = sum(r.duplicates_skipped
@@ -277,8 +335,9 @@ def _move_with_restarts(mover: LogMover, hour) -> int:
 # -- the audit -------------------------------------------------------------
 def _audit(report: ChaosReport, deployment: ScribeDeployment,
            mover: LogMover, plan: FaultPlan,
-           sent_payloads: List[bytes]) -> None:
-    """Check conservation, uniqueness, and fault coverage."""
+           sent_payloads: List[bytes], faults: bool = True,
+           quiet_hours: Optional[Set[int]] = None) -> None:
+    """Check conservation, uniqueness, fault and alert coverage."""
     daemons = [d for dc in deployment.datacenters.values()
                for d in dc.daemons]
     report.accepted = sum(d.stats.accepted for d in daemons)
@@ -333,7 +392,99 @@ def _audit(report: ChaosReport, deployment: ScribeDeployment,
             f"identities never issued")
 
     # Coverage: the acceptance faults must actually have fired.
-    _check_coverage(report, plan)
+    if faults:
+        _check_coverage(report, plan)
+    if report.monitor is not None:
+        _check_alerts(report, plan, faults=faults,
+                      quiet_hours=quiet_hours or set())
+
+
+#: Injected fault classes mapped to the alert each must fire: site
+#: prefix, fault kind, alert rule name.
+_ALERT_EXPECTATIONS = (
+    ("hdfs.", KIND_UNAVAILABLE, "staging_outage"),
+    ("aggregator.", KIND_CRASH, "aggregator_failover"),
+    ("logmover.", KIND_CRASH, "mover_crash"),
+)
+
+
+def _check_alerts(report: ChaosReport, plan: FaultPlan, faults: bool,
+                  quiet_hours: Set[int]) -> None:
+    """Audit the monitor itself against the injected storm.
+
+    Faulted runs must show zero false *negatives* (every outage/crash
+    class fired its alert, one episode per distinct outage window) and
+    no stuck alerts; fault-free runs must show zero false *positives*.
+    The per-hour verdicts must also agree with the conservation audit:
+    a conserved, fully-landed run is ``complete`` across the board.
+    """
+    monitor = report.monitor
+    engine = monitor.engine
+    report.alerts_fired = len(engine.history())
+    report.alerts_resolved = sum(1 for a in engine.history()
+                                 if not a.active)
+    report.alerts_unresolved = len(engine.active())
+
+    if faults:
+        for prefix, kind, alert_name in _ALERT_EXPECTATIONS:
+            fired_rules = [rule for rule in plan.rules
+                           if rule.site.startswith(prefix)
+                           and rule.kind == kind and rule.fires]
+            if not fired_rules:
+                continue
+            # Each outage window is a separate firing episode; crashes
+            # inside one inter-tick interval may share an episode.
+            required = len(fired_rules) if kind == KIND_UNAVAILABLE else 1
+            if engine.fired(alert_name) < required:
+                report.violations.append(
+                    f"alert coverage gap: {len(fired_rules)} fired "
+                    f"{kind} fault(s) at {prefix}* but "
+                    f"{alert_name!r} fired {engine.fired(alert_name)} "
+                    f"episode(s) (need {required})")
+            for episode in engine.episodes(alert_name):
+                if episode.active:
+                    report.violations.append(
+                        f"alert {alert_name!r} never resolved after "
+                        f"recovery (fired at {episode.fired_at_ms}ms)")
+    elif not quiet_hours and report.alerts_fired:
+        names = sorted({a.rule for a in engine.history()})
+        report.violations.append(
+            f"false positive: {report.alerts_fired} alert episode(s) "
+            f"({', '.join(names)}) fired on a fault-free run")
+
+    # Verdict agreement with the conservation audit.
+    audits = monitor.audits
+    for audit in audits:
+        label = (f"{audit.hour.category}/{audit.hour.date_str}/"
+                 f"{audit.hour.hour:02d}")
+        report.hour_verdicts[label] = audit.verdict
+        if not audit.conserved:
+            report.violations.append(
+                f"hour audit not conserved for {label}: "
+                f"accepted={audit.accepted} landed={audit.landed} "
+                f"dropped={audit.dropped} "
+                f"quarantined={audit.quarantined} "
+                f"outstanding={audit.outstanding}")
+    sums = {
+        "accepted": sum(a.accepted for a in audits),
+        "landed": sum(a.landed for a in audits),
+        "dropped": sum(a.dropped for a in audits),
+        "quarantined": sum(a.quarantined for a in audits),
+    }
+    totals = {"accepted": report.accepted, "landed": report.landed,
+              "dropped": report.dropped,
+              "quarantined": report.quarantined}
+    for key, value in sums.items():
+        if value != totals[key]:
+            report.violations.append(
+                f"verdicts disagree with conservation audit: per-hour "
+                f"{key} sums to {value}, run total is {totals[key]}")
+    if not report.violations:
+        bad = [label for label, verdict in report.hour_verdicts.items()
+               if verdict != VERDICT_COMPLETE]
+        if bad:
+            report.violations.append(
+                f"conserved run left non-complete verdicts: {bad}")
 
 
 def _check_coverage(report: ChaosReport, plan: FaultPlan) -> None:

@@ -67,6 +67,9 @@ class MoveResult:
     quarantined: List[Tuple[str, str]] = field(default_factory=list)
     quarantined_messages: int = 0
     duplicates_skipped: int = 0
+    #: Logical instant the hour was published (None for clock-less movers).
+    #: The data-quality auditor derives per-hour freshness lag from it.
+    moved_at_ms: Optional[int] = None
 
     @property
     def merge_ratio(self) -> float:
@@ -286,7 +289,10 @@ class LogMover:
                             output_files=output_files,
                             quarantined=quarantined,
                             quarantined_messages=quarantined_messages,
-                            duplicates_skipped=duplicates_skipped)
+                            duplicates_skipped=duplicates_skipped,
+                            moved_at_ms=(self._clock.now()
+                                         if self._clock is not None
+                                         else None))
         registry.counter(obs_names.MOVER_HOURS_MOVED,
                          category=hour.category).inc()
         registry.counter(obs_names.MOVER_FILES_MOVED,
@@ -311,9 +317,16 @@ class LogMover:
     # -- internals ---------------------------------------------------------
     @staticmethod
     def _crash_point(site: str) -> None:
-        """Die mid-move if a crash fault is armed at ``site``."""
+        """Die mid-move if a crash fault is armed at ``site``.
+
+        The crash is counted (``logmover_crashes_total``) *before*
+        raising: a crashed process can't report its own death afterward,
+        and the monitor's ``mover_crash`` alert keys off this counter.
+        """
         rule = fault_point(site)
         if rule is not None and rule.kind == KIND_CRASH:
+            get_default_registry().counter(obs_names.MOVER_CRASHES,
+                                           site=site).inc()
             raise InjectedCrash(f"log mover crashed at {site}")
 
     def _trace_now(self, tracer, trace_id: str) -> int:

@@ -34,7 +34,6 @@ from repro.obs.trace import (
     get_default_tracer,
     set_default_tracer,
 )
-
 __all__ = [
     "Counter",
     "Gauge",
@@ -46,7 +45,19 @@ __all__ = [
     "enable_tracing",
     "get_default_registry",
     "get_default_tracer",
+    "monitor",
     "names",
     "set_default_registry",
     "set_default_tracer",
 ]
+
+
+def __getattr__(name: str):
+    # The monitor subpackage is loaded lazily: it pulls in the HDFS
+    # layout (for LogHour), and importing that eagerly here would close
+    # an import cycle back through the fault injector, which imports
+    # this package for its metrics.
+    if name == "monitor":
+        from repro.obs import monitor
+        return monitor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

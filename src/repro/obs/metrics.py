@@ -213,12 +213,17 @@ class MetricsRegistry:
 
         Counters and gauges emit one sample line per label set; histograms
         emit summary-style quantile lines (p50/p95/p99) plus ``_sum`` and
-        ``_count``. Output order is deterministic: by name, then labels.
+        ``_count``. Because those are ``{quantile=...}`` samples with no
+        ``_bucket`` lines, the advertised exposition type is ``summary``
+        -- a ``# TYPE ... histogram`` header would promise buckets that
+        never come and break strict scrapers. Output order is
+        deterministic: by name, then labels.
         """
         lines: List[str] = []
         for name in self.names():
             kind = self._kinds[name]
-            lines.append(f"# TYPE {name} {kind}")
+            exposed_kind = "summary" if kind == Histogram.kind else kind
+            lines.append(f"# TYPE {name} {exposed_kind}")
             for (n, items), metric in sorted(self._metrics.items()):
                 if n != name:
                     continue

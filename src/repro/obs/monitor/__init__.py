@@ -1,0 +1,65 @@
+"""Continuous pipeline monitoring: series history, audits, alerts.
+
+The third observability pillar next to :mod:`repro.obs.metrics` and
+:mod:`repro.obs.trace`: where metrics answer "how many so far" and
+traces answer "where did this entry go", the monitor answers "is the
+pipeline healthy *right now*, and was every hour delivered in full".
+See :mod:`repro.obs.monitor.monitor` for the tick model.
+"""
+
+from repro.obs.monitor.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    CompletenessRule,
+    DeltaRule,
+    MonitorContext,
+    SeasonalRule,
+    ThresholdRule,
+    format_alerts,
+)
+from repro.obs.monitor.audit import (
+    DEFAULT_GRACE_MS,
+    DataQualityAuditor,
+    HourAudit,
+    VERDICT_COMPLETE,
+    VERDICT_INCOMPLETE,
+    VERDICT_LATE,
+    VERDICT_MISSING,
+    VERDICTS,
+    format_audits,
+)
+from repro.obs.monitor.monitor import PipelineMonitor, standard_rules
+from repro.obs.monitor.timeseries import (
+    DEFAULT_MAX_SAMPLES,
+    Point,
+    TimeSeriesStore,
+    sparkline,
+)
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "CompletenessRule",
+    "DEFAULT_GRACE_MS",
+    "DEFAULT_MAX_SAMPLES",
+    "DataQualityAuditor",
+    "DeltaRule",
+    "HourAudit",
+    "MonitorContext",
+    "PipelineMonitor",
+    "Point",
+    "SeasonalRule",
+    "ThresholdRule",
+    "TimeSeriesStore",
+    "VERDICTS",
+    "VERDICT_COMPLETE",
+    "VERDICT_INCOMPLETE",
+    "VERDICT_LATE",
+    "VERDICT_MISSING",
+    "format_alerts",
+    "format_audits",
+    "sparkline",
+    "standard_rules",
+]

@@ -1,0 +1,234 @@
+"""Per-(category, hour) data-quality audits over the delivery pipeline.
+
+The chaos soak (PR 4) proves the conservation identity
+
+    accepted == landed + dropped + quarantined
+
+once, at the end of a run. Operating the pipeline needs the same
+identity *continuously* and *per hour*: which (category, hour) is fully
+landed, which is still moving, which silently lost data. The
+:class:`DataQualityAuditor` reconciles each hour three ways --
+
+* **accepted** from every Scribe daemon's per-hour ledger (the daemons
+  stamp ``(origin, seq)`` identities on accept; the ledger remembers
+  which hour each identity belongs to);
+* **landed** from the log mover's committed identity ledger
+  (:meth:`~repro.logmover.mover.LogMover.landed_identities`), matched by
+  identity so a resend that slips past an hour boundary still credits
+  the hour it was *accepted* in;
+* **drops and quarantines** as the accounted sinks the identity allows.
+
+Each closed hour gets one of four verdicts:
+
+==============  ========================================================
+``complete``    every non-dropped accepted identity landed (quarantined
+                files are an accounted sink, not a loss)
+``late``        data is still outstanding but the hour's freshness
+                deadline (hour end + grace) has not yet passed
+``incomplete``  deadline passed with some -- but not all -- data landed
+``missing``     deadline passed and *nothing* landed
+==============  ========================================================
+
+Freshness is measured two ways: ``lag_ms`` (the mover's publish time
+minus the hour end, from :attr:`MoveResult.moved_at_ms`) and
+``delivery_p95_ms`` (the category's end-to-end
+``pipeline_delivery_latency_ms`` histogram).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.clock import MILLIS_PER_HOUR, MILLIS_PER_MINUTE
+from repro.hdfs.layout import LogHour, hour_for_millis
+from repro.obs import names as obs_names
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+)
+
+VERDICT_COMPLETE = "complete"
+VERDICT_LATE = "late"
+VERDICT_INCOMPLETE = "incomplete"
+VERDICT_MISSING = "missing"
+
+#: All verdicts, in decreasing order of health.
+VERDICTS = (VERDICT_COMPLETE, VERDICT_LATE, VERDICT_INCOMPLETE,
+            VERDICT_MISSING)
+
+#: Default freshness grace after an hour closes before it is overdue.
+DEFAULT_GRACE_MS = 30 * MILLIS_PER_MINUTE
+
+
+@dataclass
+class HourAudit:
+    """One (category, hour)'s reconciliation across the pipeline."""
+
+    hour: LogHour
+    accepted: int
+    dropped: int
+    landed: int
+    quarantined: int
+    outstanding: int
+    verdict: str
+    deadline_ms: int
+    lag_ms: Optional[int] = None
+    delivery_p95_ms: Optional[float] = None
+
+    @property
+    def conserved(self) -> bool:
+        """PR 4's identity, per hour: every accepted message accounted."""
+        return self.accepted == (self.landed + self.dropped +
+                                 self.quarantined + self.outstanding)
+
+
+class DataQualityAuditor:
+    """Reconciles per-hour acceptance against the mover's landed ledger.
+
+    ``daemons`` are the Scribe daemons whose hour ledgers define what
+    each hour *should* contain; ``mover`` supplies what actually landed
+    (and what was quarantined). Both are read-only: auditing never
+    mutates pipeline state, so it is safe to run continuously.
+    """
+
+    def __init__(self, mover, daemons: Sequence = (),
+                 grace_ms: int = DEFAULT_GRACE_MS,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self._mover = mover
+        self._daemons = list(daemons)
+        self._grace_ms = grace_ms
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry audited and reported into (default when unset)."""
+        return self._registry if self._registry is not None \
+            else get_default_registry()
+
+    # -- the audit -------------------------------------------------------
+    def audit(self, now_ms: int) -> List[HourAudit]:
+        """Audit every closed (category, hour) with accepted traffic.
+
+        Hours still open at ``now_ms`` are skipped -- their books cannot
+        balance yet by construction. Results are sorted by (category,
+        hour) and mirrored into the registry (``quality_hours{verdict=}``
+        gauges plus ``quality_audits_total``).
+        """
+        landed_all = frozenset(self._mover.landed_identities())
+        quarantined = self._quarantined_by_hour()
+        moved_at = self._moved_at_by_hour()
+        audits: List[HourAudit] = []
+        for (category, hour_index), books in self._hour_books().items():
+            hour_start = hour_index * MILLIS_PER_HOUR
+            hour_end = hour_start + MILLIS_PER_HOUR
+            if now_ms < hour_end:
+                continue  # the hour is still open
+            hour = hour_for_millis(category, hour_start)
+            accepted, dropped, expected = books
+            landed = len(expected & landed_all)
+            outstanding = len(expected) - landed
+            quarantine_allowance = quarantined.get(hour, 0)
+            deadline = hour_end + self._grace_ms
+            verdict = self._verdict(now_ms, deadline, landed, outstanding,
+                                    quarantine_allowance)
+            lag = None
+            if hour in moved_at and moved_at[hour] is not None:
+                lag = max(0, moved_at[hour] - hour_end)
+            audits.append(HourAudit(
+                hour=hour, accepted=accepted, dropped=dropped,
+                landed=landed, quarantined=min(outstanding,
+                                               quarantine_allowance),
+                outstanding=max(0, outstanding - quarantine_allowance),
+                verdict=verdict, deadline_ms=deadline, lag_ms=lag,
+                delivery_p95_ms=self._delivery_p95(category),
+            ))
+        audits.sort(key=lambda a: (a.hour.category, a.hour))
+        self._emit_metrics(audits)
+        return audits
+
+    @staticmethod
+    def _verdict(now_ms: int, deadline_ms: int, landed: int,
+                 outstanding: int, quarantine_allowance: int) -> str:
+        if outstanding - quarantine_allowance <= 0:
+            return VERDICT_COMPLETE
+        if now_ms < deadline_ms:
+            return VERDICT_LATE
+        return VERDICT_INCOMPLETE if landed > 0 else VERDICT_MISSING
+
+    # -- sources ---------------------------------------------------------
+    def _hour_books(self) -> Dict[Tuple[str, int],
+                                  Tuple[int, int, Set[Tuple[str, int]]]]:
+        """(category, hour_index) -> (accepted, dropped, expected ids)."""
+        books: Dict[Tuple[str, int],
+                    Tuple[int, int, Set[Tuple[str, int]]]] = {}
+        for daemon in self._daemons:
+            for key, counts in daemon.hour_ledger().items():
+                accepted, dropped, expected = books.get(key, (0, 0, set()))
+                accepted += counts.accepted
+                dropped += counts.dropped
+                expected |= counts.expected_ids()
+                books[key] = (accepted, dropped, expected)
+        return books
+
+    def _quarantined_by_hour(self) -> Dict[LogHour, int]:
+        """Quarantined message counts from each hour's *latest* move.
+
+        A re-move rebuilds its hour from scratch (replace semantics), so
+        only the most recent :class:`MoveResult` per hour describes the
+        published state.
+        """
+        out: Dict[LogHour, int] = {}
+        for result in self._mover.moves:
+            out[result.hour] = result.quarantined_messages
+        return out
+
+    def _moved_at_by_hour(self) -> Dict[LogHour, Optional[int]]:
+        out: Dict[LogHour, Optional[int]] = {}
+        for result in self._mover.moves:
+            out[result.hour] = getattr(result, "moved_at_ms", None)
+        return out
+
+    def _delivery_p95(self, category: str) -> Optional[float]:
+        merged = Histogram()
+        for labels, metric in self.registry.series(
+                obs_names.PIPELINE_DELIVERY_LATENCY):
+            if labels.get("category") == category and isinstance(
+                    metric, Histogram):
+                for value in metric.values():
+                    merged.observe(value)
+        return merged.percentile(0.95)
+
+    # -- metrics ---------------------------------------------------------
+    def _emit_metrics(self, audits: Iterable[HourAudit]) -> None:
+        registry = self.registry
+        registry.counter(obs_names.QUALITY_AUDITS).inc()
+        by_verdict = {verdict: 0 for verdict in VERDICTS}
+        outstanding = 0
+        for audit in audits:
+            by_verdict[audit.verdict] += 1
+            outstanding += audit.outstanding
+        for verdict, count in by_verdict.items():
+            registry.gauge(obs_names.QUALITY_HOURS,
+                           verdict=verdict).set(count)
+        registry.gauge(obs_names.QUALITY_OUTSTANDING).set(outstanding)
+
+
+def format_audits(audits: Sequence[HourAudit]) -> str:
+    """Render the per-hour completeness table the monitor CLI prints."""
+    if not audits:
+        return "completeness: no closed hours with accepted traffic"
+    lines = [f"{'category/hour':32s} {'verdict':10s} {'accepted':>8s} "
+             f"{'landed':>7s} {'drop':>5s} {'quar':>5s} {'out':>5s} "
+             f"{'lag':>8s}"]
+    for audit in audits:
+        hour = audit.hour
+        label = f"{hour.category}/{hour.date_str}/{hour.hour:02d}"
+        lag = f"{audit.lag_ms / 60000:.0f}m" if audit.lag_ms is not None \
+            else "-"
+        lines.append(
+            f"{label:32s} {audit.verdict:10s} {audit.accepted:8d} "
+            f"{audit.landed:7d} {audit.dropped:5d} {audit.quarantined:5d} "
+            f"{audit.outstanding:5d} {lag:>8s}")
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ MOVER_MESSAGES_MOVED = "logmover_messages_moved_total"
 MOVER_BYTES_MOVED = "logmover_bytes_moved_total"
 MOVER_CHECK_FAILURES = "logmover_check_failures_total"
 MOVER_DUPLICATES_SKIPPED = "logmover_duplicates_skipped_total"
+MOVER_CRASHES = "logmover_crashes_total"
 
 # -- fault injection and recovery ----------------------------------------
 FAULTS_INJECTED = "faults_injected_total"
@@ -50,6 +51,18 @@ RETRY_ATTEMPTS = "retry_attempts_total"
 
 # -- cross-stage pipeline ------------------------------------------------
 PIPELINE_DELIVERY_LATENCY = "pipeline_delivery_latency_ms"
+
+# -- tracing -------------------------------------------------------------
+TRACER_EVICTED = "tracer_traces_evicted_total"
+
+# -- continuous monitoring (repro.obs.monitor) ---------------------------
+MONITOR_SAMPLES = "monitor_samples_total"
+QUALITY_AUDITS = "quality_audits_total"
+QUALITY_HOURS = "quality_hours"
+QUALITY_OUTSTANDING = "quality_outstanding_messages"
+ALERTS_FIRED = "alerts_fired_total"
+ALERTS_RESOLVED = "alerts_resolved_total"
+ALERTS_ACTIVE = "alerts_active"
 
 # -- mapreduce -----------------------------------------------------------
 MAPREDUCE_JOBS = "mapreduce_jobs_total"

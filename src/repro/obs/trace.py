@@ -19,6 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import names
+from repro.obs.metrics import get_default_registry
+
 
 @dataclass
 class Span:
@@ -36,11 +39,27 @@ class Span:
         return self.end_ms - self.start_ms
 
 
-class Tracer:
-    """Records spans keyed by trace id; disabled tracers record nothing."""
+#: Default bound on retained traces (and path bindings) per tracer.
+DEFAULT_MAX_TRACES = 100_000
 
-    def __init__(self, enabled: bool = False) -> None:
+
+class Tracer:
+    """Records spans keyed by trace id; disabled tracers record nothing.
+
+    Retention is bounded: once ``max_traces`` distinct traces (or path
+    bindings) are held, recording a new one evicts the oldest --
+    monitoring-length soaks hold a sliding window instead of growing
+    without limit. Evictions are counted in
+    ``tracer_traces_evicted_total{kind=trace|path}``; pass
+    ``max_traces=None`` for the old unbounded behavior.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 max_traces: Optional[int] = DEFAULT_MAX_TRACES) -> None:
         self.enabled = enabled
+        if max_traces is not None and max_traces < 1:
+            raise ValueError("max_traces must be positive or None")
+        self.max_traces = max_traces
         self._spans: Dict[str, List[Span]] = {}
         self._next_id = 0
         # Propagation across the opaque-bytes boundary: staging/warehouse
@@ -68,6 +87,8 @@ class Tracer:
         """Record one completed span; no-op when disabled or untraced."""
         if not self.enabled or trace_id is None:
             return None
+        if trace_id not in self._spans:
+            self._evict_oldest(self._spans, kind="trace")
         span = Span(trace_id=trace_id, name=name, start_ms=start_ms,
                     end_ms=start_ms if end_ms is None else end_ms,
                     attrs=dict(attrs))
@@ -81,7 +102,22 @@ class Tracer:
             return
         ids = tuple(t for t in trace_ids if t is not None)
         if ids:
+            if path not in self._path_ids:
+                self._evict_oldest(self._path_ids, kind="path")
             self._path_ids[path] = ids
+
+    def _evict_oldest(self, store: Dict, kind: str) -> None:
+        """Drop-oldest to keep ``store`` under ``max_traces`` new keys.
+
+        Dicts iterate in insertion order, so ``next(iter(store))`` is
+        the oldest retained key.
+        """
+        if self.max_traces is None:
+            return
+        while len(store) >= self.max_traces:
+            store.pop(next(iter(store)))
+            get_default_registry().counter(names.TRACER_EVICTED,
+                                           kind=kind).inc()
 
     def ids_for_path(self, path: str) -> Tuple[str, ...]:
         """Trace ids bound to a file path (empty when unknown/disabled)."""

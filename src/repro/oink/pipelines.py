@@ -22,11 +22,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
+from repro.clock import MILLIS_PER_HOUR
 from repro.core.builder import SessionSequenceBuilder
 from repro.core.catalog import ClientEventCatalog
 from repro.core.event import CLIENT_EVENTS_CATEGORY
 from repro.hdfs.layout import EPOCH, LogHour, hour_for_millis
 from repro.logmover.mover import LogMover
+from repro.obs.monitor import HourAudit, PipelineMonitor
 from repro.oink.rollups import RollupJob, RollupResult
 from repro.oink.scheduler import Oink
 
@@ -43,6 +45,9 @@ class PipelineState:
     catalogs: Dict[Date, ClientEventCatalog] = field(default_factory=dict)
     #: Per-day Elephant Twin build reports (when index_build is enabled).
     indexes: Dict[Date, object] = field(default_factory=dict)
+    #: Latest per-(category, hour) data-quality verdicts (when a monitor
+    #: is attached); each ``quality_audit`` run replaces the list.
+    audits: List[HourAudit] = field(default_factory=list)
 
     def hours_moved_for_day(self, date: Date) -> int:
         """How many of a day's hours the mover has published."""
@@ -61,7 +66,8 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
                                builder: SessionSequenceBuilder,
                                rollup_job: Optional[RollupJob] = None,
                                category: str = CLIENT_EVENTS_CATEGORY,
-                               build_indexes: bool = False
+                               build_indexes: bool = False,
+                               monitor: Optional[PipelineMonitor] = None
                                ) -> PipelineState:
     """Register the mover/build/rollup/catalog jobs on an Oink instance.
 
@@ -69,6 +75,12 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
     (re)builds the day's Elephant Twin partitions once the mover has
     published hours -- the warehouse-integration point that keeps
     selective-query indexes as fresh as the data without a manual step.
+
+    ``monitor`` adds a recurring hourly ``quality_audit`` job (after the
+    mover) that ticks the :class:`PipelineMonitor` at each hour close --
+    sampling the registry, re-auditing every closed (category, hour),
+    and evaluating alert rules. The latest verdicts land in
+    ``state.audits``.
 
     Returns the :class:`PipelineState` the jobs fill in as the caller
     advances the clock and calls :meth:`Oink.run_pending`.
@@ -111,7 +123,16 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
     def day_has_moved_hours(period_start: int) -> bool:
         return state.hours_moved_for_day(_date_of_period(period_start)) > 0
 
+    def quality_audit(period_start: int) -> None:
+        # Tick at the hour's close so the period being audited counts
+        # as a closed hour.
+        ctx = monitor.tick(period_start + MILLIS_PER_HOUR)
+        state.audits = ctx.audits
+
     oink.hourly("log_mover", move_hour)
+    if monitor is not None:
+        oink.hourly("quality_audit", quality_audit,
+                    depends_on=["log_mover"])
     oink.daily("session_sequences", build_sequences,
                depends_on=["log_mover"], gate=day_has_moved_hours)
     oink.daily("rollups", build_rollups, depends_on=["log_mover"],

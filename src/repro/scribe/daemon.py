@@ -25,10 +25,10 @@ the first hop of an entry's end-to-end trace.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, replace
-from typing import Callable, Deque, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
-from repro.clock import LogicalClock
+from repro.clock import MILLIS_PER_HOUR, LogicalClock
 from repro.faults.injector import KIND_ACK_LOST, KIND_ERROR, fault_point
 from repro.faults.retry import RetryPolicy
 from repro.obs import names
@@ -55,6 +55,26 @@ class DaemonStats:
     resent: int = 0
     dropped: int = 0
     failovers: int = 0
+
+
+@dataclass
+class HourCounts:
+    """One (category, hour)'s acceptance books on one daemon.
+
+    ``ids`` holds the ``(origin, seq)`` delivery identities accepted in
+    the hour; ``dropped_ids`` the subset later evicted by drop-oldest.
+    The difference is what the data-quality auditor *expects* to find in
+    the warehouse for that hour.
+    """
+
+    accepted: int = 0
+    dropped: int = 0
+    ids: Set[Tuple[str, int]] = field(default_factory=set)
+    dropped_ids: Set[Tuple[str, int]] = field(default_factory=set)
+
+    def expected_ids(self) -> Set[Tuple[str, int]]:
+        """Identities that should eventually land (accepted - dropped)."""
+        return self.ids - self.dropped_ids
 
 
 class ScribeDaemon:
@@ -86,6 +106,13 @@ class ScribeDaemon:
         self._retry_policy = retry_policy
         self._next_seq = 0
         self.stats = DaemonStats()
+        # Per-(category, hour) acceptance books for the data-quality
+        # auditor, plus a reverse map so a drop-oldest eviction can be
+        # attributed to the evicted entry's *accept* hour (identities of
+        # successfully-sent entries are pruned from the map, so it only
+        # holds what is still buffered).
+        self._hour_ledger: Dict[Tuple[str, int], HourCounts] = {}
+        self._ledger_keys: Dict[Tuple[str, int], Tuple[str, int]] = {}
 
     # -- public API ----------------------------------------------------
     def log(self, entry: LogEntry) -> None:
@@ -108,6 +135,7 @@ class ScribeDaemon:
         self.stats.accepted += 1
         registry = get_default_registry()
         registry.counter(names.DAEMON_ACCEPTED, host=self.host).inc()
+        self._record_accept(entry)
         # Record the span before sending so the hop order is right even
         # though delivery happens within the same logical instant; the
         # outcome attribute is filled in once it is known.
@@ -165,9 +193,45 @@ class ScribeDaemon:
         """Name of the currently-connected aggregator, or None."""
         return self._connected
 
+    def hour_ledger(self) -> Dict[Tuple[str, int], HourCounts]:
+        """Acceptance books keyed by ``(category, hour_index)``.
+
+        ``hour_index`` is the accept time's hour number on the logical
+        clock (``now_ms // MILLIS_PER_HOUR``). The auditor treats the
+        returned mapping as read-only.
+        """
+        return self._hour_ledger
+
     # -- internals -----------------------------------------------------
     def _now(self) -> int:
         return self._clock.now() if self._clock is not None else 0
+
+    def _record_accept(self, entry: LogEntry) -> None:
+        key = (entry.category, self._now() // MILLIS_PER_HOUR)
+        counts = self._hour_ledger.get(key)
+        if counts is None:
+            counts = self._hour_ledger[key] = HourCounts()
+        counts.accepted += 1
+        if entry.origin is not None and entry.seq is not None:
+            identity = (entry.origin, entry.seq)
+            counts.ids.add(identity)
+            self._ledger_keys[identity] = key
+
+    def _record_drop(self, entry: LogEntry) -> None:
+        """Attribute a drop-oldest eviction to the entry's accept hour."""
+        identity = None if entry.seq is None else (entry.origin, entry.seq)
+        key = None if identity is None \
+            else self._ledger_keys.pop(identity, None)
+        if key is None:
+            # Unstamped (legacy) entry, or accepted before ledgers
+            # existed: best effort against the current hour.
+            key = (entry.category, self._now() // MILLIS_PER_HOUR)
+        counts = self._hour_ledger.get(key)
+        if counts is None:
+            counts = self._hour_ledger[key] = HourCounts()
+        counts.dropped += 1
+        if identity is not None:
+            counts.dropped_ids.add(identity)
 
     def _send(self, entry: LogEntry) -> bool:
         """One delivery attempt, including failover and bounded retries.
@@ -185,6 +249,8 @@ class ScribeDaemon:
                 self.stats.sent += 1
                 get_default_registry().counter(names.DAEMON_SENT,
                                                host=self.host).inc()
+                if entry.seq is not None:
+                    self._ledger_keys.pop((entry.origin, entry.seq), None)
                 return True
             exclude = self._last_failed
             if attempt == max_attempts:
@@ -267,6 +333,7 @@ class ScribeDaemon:
             # deque(maxlen=...) evicts the head on append.
             self.stats.dropped += 1
             registry.counter(names.DAEMON_DROPPED, host=self.host).inc()
+            self._record_drop(self._buffer[0])
         self._buffer.append(entry)
         self.stats.buffered_total += 1
         registry.counter(names.DAEMON_BUFFERED, host=self.host).inc()

@@ -122,7 +122,7 @@ class TestExposition:
         expected = (
             "# TYPE depth gauge\n"
             "depth 2\n"
-            "# TYPE latency_ms histogram\n"
+            "# TYPE latency_ms summary\n"
             'latency_ms{quantile="0.5",stage="end"} 5\n'
             'latency_ms{quantile="0.95",stage="end"} 10\n'
             'latency_ms{quantile="0.99",stage="end"} 10\n'
@@ -151,6 +151,16 @@ class TestExposition:
     def test_empty_registry_exposes_empty(self):
         assert MetricsRegistry().expose() == ""
 
+    def test_histograms_expose_as_summary(self):
+        """Quantile series are the Prometheus *summary* type; the old
+        ``histogram`` TYPE promised ``_bucket`` series we never emit."""
+        text = self._populated().expose()
+        assert "# TYPE latency_ms summary\n" in text
+        assert "histogram" not in text
+        # The JSON snapshot keeps the internal kind name.
+        snapshot = self._populated().snapshot()
+        assert snapshot["latency_ms"][0]["type"] == "histogram"
+
 
 class TestDefaults:
     def test_default_registry_swap(self):
@@ -173,6 +183,49 @@ class TestDefaults:
         tracer = Tracer(enabled=True)
         assert tracer.new_trace_id() == "t00000001"
         assert tracer.new_trace_id() == "t00000002"
+
+
+class TestTracerBounds:
+    def test_max_traces_evicts_oldest(self, fresh_obs):
+        registry, __ = fresh_obs
+        tracer = Tracer(enabled=True, max_traces=3)
+        for i in range(5):
+            tracer.record(f"t{i}", "hop", start_ms=i)
+        assert len(tracer) == 3
+        assert tracer.trace_ids() == ["t2", "t3", "t4"]
+        assert registry.counter(names.TRACER_EVICTED,
+                                kind="trace").value == 2
+
+    def test_existing_trace_growth_is_not_an_eviction(self, fresh_obs):
+        registry, __ = fresh_obs
+        tracer = Tracer(enabled=True, max_traces=2)
+        tracer.record("t1", "hop_a", start_ms=0)
+        tracer.record("t2", "hop_a", start_ms=1)
+        # More spans on a known trace must not evict anything.
+        tracer.record("t1", "hop_b", start_ms=2)
+        assert tracer.trace_ids() == ["t1", "t2"]
+        assert tracer.hops("t1") == ["hop_a", "hop_b"]
+        assert registry.total(names.TRACER_EVICTED) == 0
+
+    def test_path_bindings_bounded_too(self, fresh_obs):
+        registry, __ = fresh_obs
+        tracer = Tracer(enabled=True, max_traces=2)
+        for i in range(4):
+            tracer.bind_path(f"/staging/f{i}", (f"t{i}",))
+        assert tracer.ids_for_path("/staging/f0") == ()
+        assert tracer.ids_for_path("/staging/f3") == ("t3",)
+        assert registry.counter(names.TRACER_EVICTED,
+                                kind="path").value == 2
+
+    def test_unbounded_when_disabled_cap(self):
+        tracer = Tracer(enabled=True, max_traces=None)
+        for i in range(300):
+            tracer.record(f"t{i}", "hop", start_ms=i)
+        assert len(tracer) == 300
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            Tracer(enabled=True, max_traces=0)
 
 
 def _run_pipeline_hour(registry, tracer, num_messages=3,
@@ -343,4 +396,46 @@ class TestPipelineHealthPanel:
     def test_empty_panel(self):
         health = pipeline_health(MetricsRegistry())
         assert health.delivery_rate is None
-        assert "no traced deliveries" in format_pipeline_health(health)
+        assert health.monitored is False
+        assert health.hours_by_verdict == {}
+        text = format_pipeline_health(health)
+        assert "no traced deliveries" in text
+        assert "alerts" not in text
+
+    def test_partial_registry_never_raises(self):
+        """Any subset of pipeline metrics renders without KeyError."""
+        registry = MetricsRegistry()
+        registry.counter(names.DAEMON_ACCEPTED, host="h").inc(7)
+        health = pipeline_health(registry)
+        assert health.accepted == 7
+        assert health.landed == 0
+        assert health.delivery_rate == 0.0
+        assert "delivery rate 0.00%" in format_pipeline_health(health)
+
+        registry = MetricsRegistry()
+        registry.gauge(names.DAEMON_BUFFER_DEPTH, host="h").set(12)
+        registry.histogram(names.PIPELINE_DELIVERY_LATENCY,
+                           category="c").observe(250)
+        health = pipeline_health(registry)
+        assert health.backlog == 12
+        assert health.latency_count == 1
+        assert health.delivery_rate is None
+        format_pipeline_health(health)  # must not raise
+
+    def test_monitored_panel_section(self):
+        """Monitor metrics light up the alerts/hours section."""
+        registry = MetricsRegistry()
+        registry.counter(names.QUALITY_AUDITS).inc(3)
+        registry.counter(names.ALERTS_FIRED, rule="staging_outage").inc(2)
+        registry.counter(names.ALERTS_RESOLVED, rule="staging_outage").inc(2)
+        registry.gauge(names.ALERTS_ACTIVE).set(0)
+        registry.gauge(names.QUALITY_HOURS, verdict="complete").set(4)
+        registry.gauge(names.QUALITY_HOURS, verdict="late").set(0)
+        health = pipeline_health(registry)
+        assert health.monitored is True
+        assert health.alerts_fired == 2
+        assert health.hours_by_verdict == {"complete": 4}
+        text = format_pipeline_health(health)
+        assert "fired 2" in text
+        assert "complete=4" in text
+        assert "late=" not in text  # zero-count verdicts are elided
