@@ -85,6 +85,9 @@ def _sum_bag(group: dict) -> int:
 class _MatchFlag:
     """Row UDF: 1 if the event's name matches the pattern, else 0."""
 
+    #: Projection declaration: a columnar scan materializes only this.
+    columns_read = ("event_name",)
+
     def __init__(self, pattern: str) -> None:
         self.matcher = EventPattern(pattern)
 
@@ -94,6 +97,9 @@ class _MatchFlag:
 
 class _SessionMatchFlag:
     """Row UDF: ((user, session), flag) pair for the sessions variant."""
+
+    #: Projection declaration: the three columns the flag pair needs.
+    columns_read = ("event_name", "session_id", "user_id")
 
     def __init__(self, pattern: str) -> None:
         self.matcher = EventPattern(pattern)

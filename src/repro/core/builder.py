@@ -215,9 +215,17 @@ class SessionSequenceBuilder:
             _EVENT_FORMAT.decode)
 
         # Pass 1: histogram of event counts (with a combiner, as the
-        # production Pig aggregation would run).
+        # production Pig aggregation would run). The mapper reads only
+        # the event name, so when columnar segments cover the day the
+        # pass scans one dictionary-encoded column instead of decoding
+        # every full record; hours without a fresh segment scan raw.
+        from repro.warehouse.segment import day_columnar_input
+
+        histogram_input = day_columnar_input(
+            self._warehouse, self._category, year, month, day,
+            projection=("event_name",)) or input_format
         histogram_result = run_job(MapReduceJob(
-            name="ce_histogram", input_format=input_format,
+            name="ce_histogram", input_format=histogram_input,
             mapper=_histogram_mapper, reducer=_sum_reducer,
             combiner=_sum_reducer), tracker,
             backend=backend, max_workers=max_workers)

@@ -25,6 +25,12 @@ SEQUENCES_ROOT = "/session_sequences"
 #: :func:`data_files` rather than raw ``glob_files`` on data trees.
 INDEX_SUBDIR = "_index"
 
+#: Name of the per-hour columnar segment subdirectory. Like ``_index``,
+#: segments live *beside* the raw files they were compacted from
+#: (``.../HH/_columnar/``), so raw-record scanners must never hand their
+#: block files to a Thrift decoder -- :func:`data_files` excludes them.
+COLUMNAR_SUBDIR = "_columnar"
+
 _HOUR_RE = re.compile(
     r"^(?P<root>/.+?)/(?P<category>[a-z0-9_\-]+)/"
     r"(?P<year>\d{4})/(?P<month>\d{2})/(?P<day>\d{2})/(?P<hour>\d{2})$"
@@ -118,20 +124,36 @@ def is_index_path(path: str) -> bool:
     return False
 
 
+def is_columnar_path(path: str) -> bool:
+    """True if ``path`` lies inside a columnar ``_columnar`` segment
+    directory (including the build-time ``_columnar.tmp`` staging dir)."""
+    for part in path.split("/"):
+        if part == COLUMNAR_SUBDIR or part == f"{COLUMNAR_SUBDIR}.tmp":
+            return True
+    return False
+
+
 def data_files(fs, directory: str) -> List[str]:
-    """All *data* files under ``directory``: glob minus index partitions.
+    """All *data* files under ``directory``: glob minus index partitions
+    and columnar segments.
 
     This is the scanner every data reader (loaders, the session-sequence
-    builder, columnar projections) must use once indexes live alongside
-    the data -- a raw ``glob_files`` would hand index JSON to a Thrift
-    decoder.
+    builder, columnar projections) must use once indexes and segments
+    live alongside the data -- a raw ``glob_files`` would hand index
+    JSON or column blocks to a Thrift decoder.
     """
-    return [p for p in fs.glob_files(directory) if not is_index_path(p)]
+    return [p for p in fs.glob_files(directory)
+            if not is_index_path(p) and not is_columnar_path(p)]
 
 
 def hour_index_dir(hour_path: str) -> str:
     """The ``_index`` directory of one per-hour data directory."""
     return f"{hour_path}/{INDEX_SUBDIR}"
+
+
+def hour_columnar_dir(hour_path: str) -> str:
+    """The ``_columnar`` segment directory of one per-hour data dir."""
+    return f"{hour_path}/{COLUMNAR_SUBDIR}"
 
 
 def staging_path(datacenter: str, hour: LogHour) -> str:

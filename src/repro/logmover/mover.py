@@ -31,6 +31,7 @@ a re-run converges.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -45,6 +46,8 @@ from repro.obs.metrics import get_default_registry
 from repro.obs.trace import get_default_tracer
 from repro.scribe.aggregator import decode_messages, encode_messages
 from repro.scribe.message import decode_envelope
+
+logger = logging.getLogger(__name__)
 
 INCOMING_ROOT = "/_incoming"
 
@@ -95,7 +98,8 @@ class LogMover:
                  target_file_bytes: int = 256 * 1024,
                  codec: str = "zlib",
                  clock: Optional[LogicalClock] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 columnar_categories: Optional[Sequence[str]] = None) -> None:
         if not staging_clusters:
             raise ValueError("need at least one staging cluster")
         self._staging = dict(staging_clusters)
@@ -108,6 +112,11 @@ class LogMover:
         # without a clock, spans fall back to each trace's latest time.
         self._clock = clock
         self._retry_policy = retry_policy
+        # Categories whose hours get a columnar segment written beside
+        # the raw files right after the atomic slide. Raw files remain
+        # authoritative; a segment that fails to build is skipped with a
+        # warning and the hour serves row-at-a-time scans as before.
+        self._columnar_categories = frozenset(columnar_categories or ())
         # Committed (origin, seq) identities per hour. An identity enters
         # the ledger only once its staged inputs are deleted, so a crash
         # anywhere before that point leaves the ledger describing exactly
@@ -268,7 +277,8 @@ class LogMover:
         incoming_dir = hour.path(root=INCOMING_ROOT)
         if self._warehouse.exists(incoming_dir):
             self._warehouse.delete(incoming_dir, recursive=True)
-        output_files = self._write_merged(incoming_dir, messages)
+        file_counts = self._write_merged(incoming_dir, messages)
+        output_files = len(file_counts)
         final_dir = hour.path(root=LOGS_ROOT)
         if self._warehouse.exists(final_dir):
             self._warehouse.delete(final_dir, recursive=True)
@@ -276,6 +286,8 @@ class LogMover:
         self._warehouse.rename(incoming_dir, final_dir)
         self._crash_point(f"logmover.{hour.category}.pre_cleanup")
         self._record_landed(hour, final_dir, landed_ids)
+        if hour.category in self._columnar_categories and messages:
+            self._build_segment(hour, final_dir, messages, file_counts)
 
         if delete_staged:
             for datacenter, path in staged_paths:
@@ -355,11 +367,16 @@ class LogMover:
                     obs_names.PIPELINE_DELIVERY_LATENCY,
                     category=hour.category).observe(latency)
 
-    def _write_merged(self, directory: str, messages: List[bytes]) -> int:
-        """Write messages as a small number of large framed files."""
+    def _write_merged(self, directory: str,
+                      messages: List[bytes]) -> List[int]:
+        """Write messages as a small number of large framed files.
+
+        Returns the per-file message counts (in ``part-NNNNN`` order) so
+        the segment builder can record which rows each raw file holds.
+        """
         self._warehouse.mkdirs(directory)
         if not messages:
-            return 0
+            return []
         chunks: List[List[bytes]] = [[]]
         size = 0
         for message in messages:
@@ -372,4 +389,28 @@ class LogMover:
             path = f"{directory}/part-{i:05d}"
             self._warehouse.create(path, encode_messages(chunk),
                                    codec=self._codec)
-        return len(chunks)
+        return [len(chunk) for chunk in chunks]
+
+    def _build_segment(self, hour: LogHour, final_dir: str,
+                       messages: List[bytes],
+                       file_counts: List[int]) -> None:
+        """Compact the just-published hour into a columnar segment.
+
+        Runs after the atomic slide, so a crash here (or a decode
+        failure on a non-client-event payload) leaves the published raw
+        hour intact and merely without a segment; a re-move or the Oink
+        compaction job rebuilds it.
+        """
+        from repro.core.event import ClientEvent
+        from repro.warehouse.segment import write_hour_segment
+
+        try:
+            events = [ClientEvent.from_bytes(m) for m in messages]
+        except Exception as exc:
+            logger.warning("columnar segment skipped for %s: %s", hour, exc)
+            return
+        sources = [(f"{final_dir}/part-{i:05d}", count)
+                   for i, count in enumerate(file_counts)]
+        write_hour_segment(self._warehouse, final_dir, events, sources,
+                           built_at_ms=(self._clock.now()
+                                        if self._clock is not None else 0))

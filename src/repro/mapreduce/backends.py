@@ -24,6 +24,13 @@ input format) to be picklable.  :func:`prepare_backend` probes that with
 fall back to the thread backend, so ``backend="processes"`` is always
 safe to request.  The job payload is pickled once and shipped via pool
 initializer; per-task traffic is just splits and partition data.
+
+Both map *and* reduce tasks travel in contiguous chunks (one pool work
+unit per chunk) to amortize scheduling and pickling, and phases of at
+most :data:`INLINE_PHASE_TASKS` tasks run inline on the calling thread:
+for a tiny job the pool's dispatch overhead costs more than the
+parallelism could save, so a pooled backend on a small job is no worse
+than ``serial`` while reporting its own name unchanged.
 """
 
 from __future__ import annotations
@@ -56,6 +63,10 @@ from repro.mapreduce.partition import stable_partition
 
 #: The backend names ``run_job`` accepts.
 BACKEND_NAMES = ("serial", "threads", "processes")
+
+#: Phases with at most this many tasks run inline on pooled backends:
+#: pool dispatch (scheduling, pickling, result transfer) would dominate.
+INLINE_PHASE_TASKS = 4
 
 
 class TaskFailedError(Exception):
@@ -226,6 +237,19 @@ def _run_map_chunk(job: MapReduceJob,
             for index, split in chunk]
 
 
+def _run_reduce_chunk(job: MapReduceJob,
+                      chunk: Sequence[Tuple[int, List[Tuple[Any, Any]]]],
+                      submitted_at: float) -> List[ReduceTaskResult]:
+    """Run a contiguous chunk of reduce tasks inside one pool work unit.
+
+    Mirrors :func:`_run_map_chunk`: one pickled message per chunk instead
+    of one per partition, so small partitions don't each pay the pool's
+    round-trip overhead.
+    """
+    return [run_reduce_task(job, index, partition, submitted_at)
+            for index, partition in chunk]
+
+
 # -- process-pool worker side ----------------------------------------------
 # The job is pickled once in the parent and installed per worker via the
 # pool initializer; tasks then reference it by this module-level global,
@@ -245,10 +269,10 @@ def _process_run_map_chunk(chunk: Sequence[Tuple[int, Any]],
     return _run_map_chunk(_WORKER_JOB, chunk, submitted_at)
 
 
-def _process_run_reduce_task(index: int, partition: List[Tuple[Any, Any]],
-                             submitted_at: float) -> ReduceTaskResult:
-    """Worker-side reduce task runner against the installed job."""
-    return run_reduce_task(_WORKER_JOB, index, partition, submitted_at)
+def _process_run_reduce_chunk(chunk: Sequence[Tuple[int, List[Tuple[Any, Any]]]],
+                              submitted_at: float) -> List[ReduceTaskResult]:
+    """Worker-side reduce chunk runner against the installed job."""
+    return _run_reduce_chunk(_WORKER_JOB, chunk, submitted_at)
 
 
 # ---------------------------------------------------------------------------
@@ -318,7 +342,7 @@ class _PoolBackend(ExecutionBackend):
     def _submit_map_chunk(self, pool, job, chunk):
         raise NotImplementedError
 
-    def _submit_reduce_task(self, pool, job, index, partition):
+    def _submit_reduce_chunk(self, pool, job, chunk):
         raise NotImplementedError
 
     def _ensure_pool(self):
@@ -336,6 +360,10 @@ class _PoolBackend(ExecutionBackend):
         indexed = list(enumerate(splits))
         if not indexed:
             return []
+        if len(indexed) <= INLINE_PHASE_TASKS:
+            # Too small to pay pool dispatch for; identical results
+            # either way (tasks still run against private Counters).
+            return _run_map_chunk(job, indexed, time.monotonic())
         pool = self._ensure_pool()
         chunks = _chunk(indexed, self.workers * 2)
         futures = [self._submit_map_chunk(pool, job, chunk)
@@ -345,13 +373,18 @@ class _PoolBackend(ExecutionBackend):
         return results
 
     def run_reduce_phase(self, job, units):
-        """Fan reduce tasks out over the pool; merge in partition order."""
+        """Fan reduce-task chunks out over the pool; merge in partition
+        order."""
+        units = list(units)
         if not units:
             return []
+        if len(units) <= INLINE_PHASE_TASKS:
+            return _run_reduce_chunk(job, units, time.monotonic())
         pool = self._ensure_pool()
-        futures = [self._submit_reduce_task(pool, job, index, partition)
-                   for index, partition in units]
-        results = [future.result() for future in futures]
+        chunks = _chunk(units, self.workers * 2)
+        futures = [self._submit_reduce_chunk(pool, job, chunk)
+                   for chunk in chunks]
+        results = [result for future in futures for result in future.result()]
         results.sort(key=lambda r: r.index)
         return results
 
@@ -368,9 +401,8 @@ class ThreadPoolBackend(_PoolBackend):
     def _submit_map_chunk(self, pool, job, chunk):
         return pool.submit(_run_map_chunk, job, chunk, time.monotonic())
 
-    def _submit_reduce_task(self, pool, job, index, partition):
-        return pool.submit(run_reduce_task, job, index, partition,
-                           time.monotonic())
+    def _submit_reduce_chunk(self, pool, job, chunk):
+        return pool.submit(_run_reduce_chunk, job, chunk, time.monotonic())
 
 
 class ProcessPoolBackend(_PoolBackend):
@@ -394,8 +426,8 @@ class ProcessPoolBackend(_PoolBackend):
     def _submit_map_chunk(self, pool, job, chunk):
         return pool.submit(_process_run_map_chunk, chunk, time.monotonic())
 
-    def _submit_reduce_task(self, pool, job, index, partition):
-        return pool.submit(_process_run_reduce_task, index, partition,
+    def _submit_reduce_chunk(self, pool, job, chunk):
+        return pool.submit(_process_run_reduce_chunk, chunk,
                            time.monotonic())
 
 

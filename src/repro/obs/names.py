@@ -78,6 +78,13 @@ ELEPHANTTWIN_SPLITS_UNINDEXED = "elephanttwin_splits_unindexed_total"
 ELEPHANTTWIN_BYTES_PRUNED = "elephanttwin_bytes_pruned_total"
 ELEPHANTTWIN_INDEX_BUILD_SECONDS = "elephanttwin_index_build_seconds"
 
+# -- columnar warehouse segments (repro.warehouse) ------------------------
+COLUMNAR_BYTES_DECODED = "columnar_bytes_decoded_total"
+COLUMNAR_BLOCKS_PRUNED = "columnar_blocks_pruned_total"
+COLUMNAR_BYTES_PRUNED = "columnar_bytes_pruned_total"
+COLUMNAR_ENCODE_SECONDS = "columnar_encode_seconds"
+COLUMNAR_SEGMENTS_BUILT = "columnar_segments_built_total"
+
 # -- oink ----------------------------------------------------------------
 OINK_JOB_RUNS = "oink_job_runs_total"
 OINK_JOB_DURATION = "oink_job_duration_ms"

@@ -14,6 +14,7 @@ catalog rebuild follow the same daily cadence.
                 └── catalog (daily)
         └── rollups (daily)
         └── index_build (daily, optional: Elephant Twin partitions)
+        └── columnar_compaction (daily, optional: columnar segments)
 """
 
 from __future__ import annotations
@@ -45,6 +46,9 @@ class PipelineState:
     catalogs: Dict[Date, ClientEventCatalog] = field(default_factory=dict)
     #: Per-day Elephant Twin build reports (when index_build is enabled).
     indexes: Dict[Date, object] = field(default_factory=dict)
+    #: Per-day columnar compaction reports (when columnar_compaction is
+    #: enabled): :class:`repro.warehouse.segment.DaySegmentBuild`.
+    columnar: Dict[Date, object] = field(default_factory=dict)
     #: Latest per-(category, hour) data-quality verdicts (when a monitor
     #: is attached); each ``quality_audit`` run replaces the list.
     audits: List[HourAudit] = field(default_factory=list)
@@ -67,6 +71,7 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
                                rollup_job: Optional[RollupJob] = None,
                                category: str = CLIENT_EVENTS_CATEGORY,
                                build_indexes: bool = False,
+                               build_columnar: bool = False,
                                monitor: Optional[PipelineMonitor] = None
                                ) -> PipelineState:
     """Register the mover/build/rollup/catalog jobs on an Oink instance.
@@ -75,6 +80,15 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
     (re)builds the day's Elephant Twin partitions once the mover has
     published hours -- the warehouse-integration point that keeps
     selective-query indexes as fresh as the data without a manual step.
+
+    ``build_columnar`` adds a daily ``columnar_compaction`` job that
+    incrementally compacts the day's published hours into columnar
+    ``_columnar/`` segments beside the raw files (hours whose segment is
+    already fresh are skipped), so vectorized scans stay as current as
+    the warehouse. Movers constructed with ``columnar_categories``
+    already write segments at publish time; this job then merely
+    verifies freshness, and it also repairs hours whose segment write
+    crashed.
 
     ``monitor`` adds a recurring hourly ``quality_audit`` job (after the
     mover) that ticks the :class:`PipelineMonitor` at each hour close --
@@ -120,6 +134,14 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
             builder.warehouse, *date, category=category,
             built_at_ms=period_start)
 
+    def build_columnar_segments(period_start: int) -> None:
+        from repro.warehouse.segment import build_day_segments
+
+        date = _date_of_period(period_start)
+        state.columnar[date] = build_day_segments(
+            builder.warehouse, *date, category=category,
+            built_at_ms=period_start)
+
     def day_has_moved_hours(period_start: int) -> bool:
         return state.hours_moved_for_day(_date_of_period(period_start)) > 0
 
@@ -141,6 +163,9 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
                depends_on=["session_sequences"])
     if build_indexes:
         oink.daily("index_build", build_index_partitions,
+                   depends_on=["log_mover"], gate=day_has_moved_hours)
+    if build_columnar:
+        oink.daily("columnar_compaction", build_columnar_segments,
                    depends_on=["log_mover"], gate=day_has_moved_hours)
     return state
 

@@ -127,18 +127,71 @@ class PlanExecutor:
 
     # -- job construction ------------------------------------------------
     @staticmethod
-    def _load_input_format(load: LoadNode, map_ops: List[Any]) -> Any:
-        """The load's input format, with index pushdown when possible.
+    def _scan_hints(map_ops: List[Any]) -> Tuple[Optional[Tuple[str, ...]],
+                                                 Tuple[Any, ...]]:
+        """(projection, column predicates) for a fused map-side chain.
 
-        Walks the fused map-side chain looking for a filter whose
-        predicate carries an ``index_lookup`` hint (e.g.
+        Projection pruning: walks the chain accumulating the columns
+        each operator declares it reads (``columns_read`` on filter
+        predicates and foreach/flatten row functions). The walk stops at
+        the first row-shape-changing operator -- columns it does not
+        read can never be read downstream. A chain that ends with raw
+        rows still flowing (or any operator without a declaration)
+        needs the full row, so projection is None.
+
+        Predicate pushdown: filter predicates carrying a
+        ``column_predicate`` hint (a ``repro.warehouse.predicates``
+        instance) are collected for zone-map pruning. Filters commute
+        with scan planning, so collection continues past unhinted
+        filters, exactly like the index-pushdown walk.
+        """
+        needed: set = set()
+        predicates: List[Any] = []
+        full = False
+        for op in map_ops:
+            if isinstance(op, FilterNode):
+                hint = getattr(op.predicate, "column_predicate", None)
+                if hint is not None:
+                    predicates.append(hint)
+                columns = getattr(op.predicate, "columns_read", None)
+                if columns is None:
+                    full = True
+                else:
+                    needed.update(columns)
+                continue
+            if isinstance(op, (ForeachNode, FlattenNode)):
+                columns = getattr(op.fn, "columns_read", None)
+                if columns is None:
+                    full = True
+                else:
+                    needed.update(columns)
+                break
+            break  # pragma: no cover - plan builder prevents this
+        else:
+            full = True  # raw rows flow to the shuffle/output untransformed
+        projection = None if full else tuple(sorted(needed))
+        return projection, tuple(predicates)
+
+    @staticmethod
+    def _load_input_format(load: LoadNode, map_ops: List[Any]) -> Any:
+        """The load's input format, with index and columnar pushdown.
+
+        Index pushdown walks the fused map-side chain looking for a
+        filter whose predicate carries an ``index_lookup`` hint (e.g.
         :class:`repro.pig.udf.EventNameFilter`). Filters commute with
         split selection, so the scan continues past unhinted filters and
         stops at the first row-shape-changing operator. When the loader
         can serve the hint (``indexed_input_format``) and an index
         partition exists, the selective format replaces the full scan;
         the filter itself still runs, so rows are identical either way.
+
+        The chosen format (indexed or full) is then wrapped in the
+        loader's columnar format when the chain declares a projection or
+        pushes column predicates (:meth:`_scan_hints`) and segments
+        exist -- composing the two prunings: index drops splits, zone
+        maps drop blocks within the survivors.
         """
+        base: Any = None
         for op in map_ops:
             if not isinstance(op, FilterNode):
                 break
@@ -149,11 +202,20 @@ class PlanExecutor:
             if make is None:
                 break
             field, value = lookup
-            indexed = make(value, field=field)
-            if indexed is not None:
-                return indexed
+            base = make(value, field=field)
             break
-        return load.loader.input_format()
+        if base is None:
+            base = load.loader.input_format()
+        projection, predicates = PlanExecutor._scan_hints(map_ops)
+        if projection is not None or predicates:
+            make_columnar = getattr(load.loader, "columnar_input_format",
+                                    None)
+            if make_columnar is not None:
+                columnar = make_columnar(base=base, projection=projection,
+                                         predicates=predicates)
+                if columnar is not None:
+                    return columnar
+        return base
 
     def _input_for(self, child: Any) -> Tuple[Any, List[Any]]:
         """Input format + fused map ops for one upstream pipeline."""

@@ -92,6 +92,31 @@ class ClientEventsLoader:
         return IndexedInputFormat(self.input_format(), index, terms,
                                   field=field)
 
+    def columnar_input_format(self, base: Optional[Any] = None,
+                              projection: Optional[Sequence[str]] = None,
+                              predicates: Sequence[Any] = ()
+                              ) -> Optional[Any]:
+        """Vectorized plan: the covered files served from their per-hour
+        columnar segments where committed ones exist.
+
+        ``base`` is the split source being wrapped (defaults to the full
+        scan; the executor passes its index-pushdown format here so
+        Elephant Twin prunes splits before zone maps prune blocks).
+        Returns None when no hour has a committed segment -- the caller
+        keeps its raw plan, and hours with stale or missing segments
+        inside a returned format still scan raw splits unchanged.
+        """
+        from repro.mapreduce.inputformats import ColumnarInputFormat
+        from repro.warehouse.segment import ColumnarSegment
+
+        if not any(ColumnarSegment.load(self._warehouse, d) is not None
+                   for d in self.hour_dirs()):
+            return None
+        return ColumnarInputFormat(self._warehouse,
+                                   base or self.input_format(),
+                                   projection=projection,
+                                   predicates=predicates)
+
 
 class SessionSequencesLoader:
     """LOAD '/session_sequences/$DATE' USING SessionSequencesLoader().

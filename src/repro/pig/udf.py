@@ -36,13 +36,19 @@ class EventNameFilter(EvalFunc):
     unpickle) so filtered plans run on the ``processes`` backend.
     """
 
+    #: Columns this predicate reads (projection-pruning declaration).
+    columns_read = ("event_name",)
+
     def __init__(self, pattern: str) -> None:
         from repro.core.names import EventPattern
+        from repro.warehouse.predicates import EventPatternPredicate
 
         self.pattern = pattern
         self._matcher = EventPattern(pattern)
         #: Pushdown hint consumed by :class:`repro.pig.executor.PlanExecutor`.
         self.index_lookup = ("event", pattern)
+        #: Zone-map hint: prunes columnar blocks the pattern provably misses.
+        self.column_predicate = EventPatternPredicate(pattern)
 
     def exec(self, row: Any) -> bool:  # noqa: A003 - Pig's name
         """True when the row's event name matches the pattern."""
@@ -67,10 +73,17 @@ class UserEventsFilter(EvalFunc):
     indexed by exact term, no pattern expansion.
     """
 
+    #: Columns this predicate reads (projection-pruning declaration).
+    columns_read = ("user_id",)
+
     def __init__(self, user_id: int) -> None:
+        from repro.warehouse.predicates import EqPredicate
+
         self.user_id = int(user_id)
         #: Pushdown hint consumed by :class:`repro.pig.executor.PlanExecutor`.
         self.index_lookup = ("user", str(self.user_id))
+        #: Zone-map hint: min/max + bloom on the user_id column.
+        self.column_predicate = EqPredicate("user_id", self.user_id)
 
     def exec(self, row: Any) -> bool:  # noqa: A003 - Pig's name
         """True when the row's user_id equals the target user."""

@@ -1,0 +1,113 @@
+"""Per-block zone maps: min/max plus a small bloom filter.
+
+A zone map answers "might this block contain value v?" without touching
+the block's payload bytes. Min/max handles range predicates; the bloom
+filter catches point lookups that fall inside the range but are absent
+(a user id between the block's min and max user ids, say). Hashing is
+``blake2b``-based so pruning decisions are identical across processes --
+Python's builtin ``hash`` is salted per interpreter and must never leak
+into an on-disk structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+#: Hash functions per bloom entry (double hashing: h1 + i*h2).
+BLOOM_HASHES = 3
+#: Bits per distinct value (bloom sizing); floor of 64 bits.
+BLOOM_BITS_PER_VALUE = 8
+_MIN_BLOOM_BITS = 64
+
+
+def _bloom_key(value) -> bytes:
+    # Type-tagged so 1 and "1" hash differently, mirroring the
+    # content-stable partitioner's equality discipline.
+    return f"{type(value).__name__}:{value}".encode("utf-8")
+
+
+def _bloom_indexes(value, bits: int) -> List[int]:
+    digest = hashlib.blake2b(_bloom_key(value), digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1
+    return [(h1 + i * h2) % bits for i in range(BLOOM_HASHES)]
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Summary of one column block: present-value count, min/max, bloom."""
+
+    count: int
+    lo: Optional[object]
+    hi: Optional[object]
+    bloom: bytes
+
+    @classmethod
+    def build(cls, values: Iterable) -> "ZoneMap":
+        """Summarize one block's values (Nones excluded from all three
+        statistics; mixed-type blocks keep the bloom, drop the range)."""
+        present = [v for v in values if v is not None]
+        if not present:
+            return cls(count=0, lo=None, hi=None, bloom=b"")
+        distinct = set(present)
+        bits = max(_MIN_BLOOM_BITS, BLOOM_BITS_PER_VALUE * len(distinct))
+        field = bytearray(-(-bits // 8))
+        for value in distinct:
+            for index in _bloom_indexes(value, bits):
+                field[index // 8] |= 1 << (index % 8)
+        try:
+            lo, hi = min(present), max(present)
+        except TypeError:  # mixed types: keep the bloom, drop the range
+            lo = hi = None
+        return cls(count=len(present), lo=lo, hi=hi, bloom=bytes(field))
+
+    # -- pruning queries (all conservative: True means "might match") ----
+
+    def might_contain(self, value) -> bool:
+        """False only when the block provably lacks ``value``."""
+        if self.count == 0:
+            return False
+        if value is None:
+            return True
+        if self.lo is not None:
+            try:
+                if value < self.lo or value > self.hi:
+                    return False
+            except TypeError:
+                pass
+        if self.bloom:
+            bits = len(self.bloom) * 8
+            for index in _bloom_indexes(value, bits):
+                if not self.bloom[index // 8] >> (index % 8) & 1:
+                    return False
+        return True
+
+    def overlaps(self, lo, hi) -> bool:
+        """False only when [lo, hi] provably misses the block's range."""
+        if self.count == 0:
+            return False
+        if self.lo is None:
+            return True
+        try:
+            if lo is not None and self.hi < lo:
+                return False
+            if hi is not None and self.lo > hi:
+                return False
+        except TypeError:
+            return True
+        return True
+
+    # -- manifest (de)serialization --------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-safe manifest form (bloom hex-encoded)."""
+        return {"count": self.count, "lo": self.lo, "hi": self.hi,
+                "bloom": self.bloom.hex()}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ZoneMap":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(count=data["count"], lo=data["lo"], hi=data["hi"],
+                   bloom=bytes.fromhex(data["bloom"]))

@@ -102,6 +102,27 @@ class TestBackendParity:
         assert 1 <= default_worker_count() <= 8
 
 
+class TestSmallPhaseInline:
+    """Phases at or under the inline threshold skip pool dispatch but
+    keep the backend's name and exact accounting."""
+
+    @staticmethod
+    def _small_job():
+        # 3 splits: under INLINE_PHASE_TASKS, so the map phase (and the
+        # 4-partition reduce phase) run inline on pooled backends.
+        return MapReduceJob(name="wc_small",
+                            input_format=InMemoryInputFormat(RECORDS, 40),
+                            mapper=wc_mapper, reducer=sum_reducer)
+
+    def test_inline_matches_serial_and_keeps_name(self):
+        baseline, __ = _run(self._small_job(), "serial")
+        for backend in ("threads", "processes"):
+            result, tracker = _run(self._small_job(), backend)
+            assert result.output == baseline.output
+            assert result.counters.as_dict() == baseline.counters.as_dict()
+            assert tracker.runs[0].backend == backend
+
+
 class TestProcessFallback:
     def test_closure_job_falls_back_to_threads(self):
         captured = {}
