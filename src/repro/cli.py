@@ -146,6 +146,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the same traffic without the fault "
                             "storm (with --monitor: assert zero false-"
                             "positive alerts)")
+    chaos.add_argument("--streaming", action="store_true",
+                       help="land via streaming micro-batches instead "
+                            "of hourly moves: arms mid-batch and mid-"
+                            "seal crashes plus a held-datacenter replay, "
+                            "and asserts sealing and the late re-open")
+
+    mover = sub.add_parser(
+        "mover", help="drive the staging-to-warehouse landing pipeline "
+                      "over clean traffic and summarize what landed")
+    mover.add_argument("--stream", action="store_true",
+                       help="use the streaming micro-batch mover with "
+                            "event-time watermarks instead of hourly "
+                            "boundary moves")
+    mover.add_argument("--hours", type=int, default=2,
+                       help="simulated hours of traffic (default 2)")
+    mover.add_argument("--seed", type=int, default=0,
+                       help="traffic seed (default 0)")
 
     monitor = sub.add_parser(
         "monitor", help="replay a simulated day through the pipeline "
@@ -363,7 +380,8 @@ def cmd_chaos(args) -> int:
 
     set_default_registry(MetricsRegistry())
     report = run_chaos(args.seed, hours=args.hours, monitor=args.monitor,
-                       faults=not args.no_faults)
+                       faults=not args.no_faults,
+                       streaming=args.streaming)
     print(report.summary())
     if report.monitor is not None:
         from repro.obs.monitor import format_alerts, format_audits
@@ -372,6 +390,37 @@ def cmd_chaos(args) -> int:
         print(format_audits(report.monitor.audits))
         print()
         print(format_alerts(report.monitor.engine))
+    return 0 if report.ok else 1
+
+
+def cmd_mover(args) -> int:
+    """``mover``: land clean traffic hourly or via ``--stream``.
+
+    Reuses the chaos harness's two-datacenter deployment with the fault
+    storm disabled, so the numbers it prints are the landing pipeline's
+    own behavior -- in stream mode that includes micro-batch counts,
+    sealed hours, and the closing watermark lag.
+    """
+    from repro.faults.chaos import run_chaos
+    from repro.obs import MetricsRegistry, set_default_registry
+    from repro.obs import names as obs_names
+
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    report = run_chaos(args.seed, hours=args.hours, faults=False,
+                       streaming=args.stream)
+    mode = "streaming micro-batch" if args.stream else "hourly"
+    print(f"log mover ({mode}): hours={args.hours} "
+          f"accepted={report.accepted} landed={report.landed} "
+          f"dropped={report.dropped} quarantined={report.quarantined}")
+    if args.stream:
+        lag = registry.total(obs_names.STREAMING_WATERMARK_LAG)
+        print(f"  batches_landed={report.batches_landed} "
+              f"hours_sealed={report.hours_sealed} "
+              f"late_reopens={report.late_reopens} "
+              f"closing_watermark_lag_ms={int(lag)}")
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
     return 0 if report.ok else 1
 
 
@@ -488,6 +537,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "index": cmd_index,
     "chaos": cmd_chaos,
+    "mover": cmd_mover,
     "monitor": cmd_monitor,
     "report": cmd_report,
 }

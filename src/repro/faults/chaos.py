@@ -37,6 +37,7 @@ from repro.faults.injector import (
 from repro.faults.retry import RetryPolicy
 from repro.hdfs.layout import LOGS_ROOT, hour_for_millis
 from repro.logmover.mover import LogMover
+from repro.logmover.streaming import StreamingMover
 from repro.obs import names as obs_names
 from repro.obs.metrics import get_default_registry
 from repro.obs.monitor import (
@@ -62,6 +63,13 @@ ENTRIES_PER_SLICE = 4
 #: How many times a crashed hour move is restarted before giving up.
 MAX_MOVE_RESTARTS = 5
 
+#: Streaming soak: the datacenter whose aggregators are held down across
+#: the hour-0 seal (their WALs keep that hour's tail), and the hour-1
+#: slice at which operators "notice" and restart them -- well after the
+#: watermark sealed hour 0, so the replay is genuinely late data.
+STREAM_HELD_DC = "east"
+STREAM_HOLD_RESTART_SLICE = 3
+
 
 @dataclass
 class ChaosReport:
@@ -80,6 +88,11 @@ class ChaosReport:
     alerts_fired: int = 0
     alerts_resolved: int = 0
     alerts_unresolved: int = 0
+    #: Streaming-mode accounting (zero on hourly soaks).
+    streaming: bool = False
+    batches_landed: int = 0
+    hours_sealed: int = 0
+    late_reopens: int = 0
     hour_verdicts: Dict[str, str] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
     #: The live monitor when the soak ran with ``monitor=True`` (not
@@ -94,7 +107,8 @@ class ChaosReport:
     def summary(self) -> str:
         """A one-screen human-readable account of the run."""
         lines = [
-            f"chaos soak: seed={self.seed} hours={self.hours} "
+            f"chaos soak{' (streaming)' if self.streaming else ''}: "
+            f"seed={self.seed} hours={self.hours} "
             f"{'PASS' if self.ok else 'FAIL'}",
             f"  accepted={self.accepted} landed={self.landed} "
             f"dropped={self.dropped} quarantined={self.quarantined}",
@@ -103,6 +117,11 @@ class ChaosReport:
             f"duplicates_skipped={self.duplicates_skipped} "
             f"mover_restarts={self.mover_restarts}",
         ]
+        if self.streaming:
+            lines.append(
+                f"  batches_landed={self.batches_landed} "
+                f"hours_sealed={self.hours_sealed} "
+                f"late_reopens={self.late_reopens}")
         if self.monitor is not None:
             complete = sum(1 for v in self.hour_verdicts.values()
                            if v == VERDICT_COMPLETE)
@@ -161,9 +180,49 @@ def default_chaos_plan(seed: int, hours: int) -> FaultPlan:
     return plan
 
 
+def streaming_chaos_plan(seed: int, hours: int) -> FaultPlan:
+    """The storm for a streaming soak: the hourly plan's outages and
+    aggregator crash, plus crashes armed *inside* the micro-batch
+    protocol -- between a batch's write and its rename, between the
+    rename and staged cleanup, and before the seal's atomic slide.
+    Probabilistic noise ends earlier (minute 44) so the held-aggregator
+    late-data scenario at the last slice of hour 0 is deterministic.
+    """
+    plan = FaultPlan()
+    plan.add("hdfs.staging-east.write", KIND_UNAVAILABLE,
+             start_ms=10 * MINUTE_MS, end_ms=40 * MINUTE_MS)
+    plan.add("aggregator.east-agg-000.receive", KIND_CRASH,
+             start_ms=15 * MINUTE_MS, end_ms=40 * MINUTE_MS, max_fires=1)
+    plan.add(f"logmover.{CHAOS_CATEGORY}.batch.pre_rename", KIND_CRASH,
+             max_fires=1)
+    plan.add(f"logmover.{CHAOS_CATEGORY}.batch.pre_cleanup", KIND_CRASH,
+             max_fires=1)
+    plan.add(f"logmover.{CHAOS_CATEGORY}.seal.pre_rename", KIND_CRASH,
+             max_fires=1)
+    if hours >= 2:
+        plan.add("hdfs.staging-west.write", KIND_UNAVAILABLE,
+                 start_ms=HOUR_MS + 12 * MINUTE_MS,
+                 end_ms=HOUR_MS + 35 * MINUTE_MS)
+    for h in range(hours):
+        start = h * HOUR_MS
+        plan.add("daemon.west-host-*.send", KIND_ERROR,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 44 * MINUTE_MS, probability=0.05)
+        plan.add("daemon.east-host-*.send", KIND_ACK_LOST,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 44 * MINUTE_MS, probability=0.04,
+                 max_fires=4)
+        plan.add("zk.session.*", KIND_EXPIRE_SESSION,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 44 * MINUTE_MS, probability=0.02,
+                 max_fires=2)
+    return plan
+
+
 def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
               faults: bool = True,
-              quiet_hours: Optional[Set[int]] = None) -> ChaosReport:
+              quiet_hours: Optional[Set[int]] = None,
+              streaming: bool = False) -> ChaosReport:
     """Run the soak and return its audited report.
 
     The deployment is two datacenters (east/west) of three hosts and two
@@ -180,11 +239,24 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
     traffic during the given absolute hour indices (the seasonal-rule
     demo knob; it also disables the false-positive check, since a quiet
     hour legitimately fires the seasonal deviation alert).
+
+    ``streaming=True`` replaces the hourly boundary moves with a
+    :class:`StreamingMover` polled after every traffic slice (one-minute
+    micro-batches, two-minute watermark delay), arms the streaming plan
+    (crashes mid-micro-batch and mid-seal), and holds one datacenter's
+    aggregators down across the hour-0 seal so their WAL replay lands as
+    genuinely late data -- re-opening the sealed hour through the
+    replace-semantics path. The monitor is always attached: the audit
+    additionally asserts that every landed hour ends sealed, that the
+    late re-open happened, and that the ``completeness`` alert fired on
+    the ``late`` verdict and later resolved.
     """
     if hours < 1:
         raise ValueError("need at least one hour")
     quiet = quiet_hours or set()
-    report = ChaosReport(seed=seed, hours=hours)
+    if streaming:
+        monitor = True
+    report = ChaosReport(seed=seed, hours=hours, streaming=streaming)
     policy = RetryPolicy(max_attempts=5, base_delay_ms=100,
                          max_delay_ms=5_000, seed=seed)
     deployment = ScribeDeployment(
@@ -193,12 +265,19 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
     deployment.categories.register(CategoryConfig(
         category=CHAOS_CATEGORY, codec="zlib", max_file_records=50))
     clock = deployment.clock
-    mover = LogMover(
-        staging_clusters={name: dc.staging
-                          for name, dc in deployment.datacenters.items()},
-        warehouse=deployment.warehouse,
-        clock=clock, retry_policy=policy)
-    plan = default_chaos_plan(seed, hours) if faults else FaultPlan()
+    staging_clusters = {name: dc.staging
+                        for name, dc in deployment.datacenters.items()}
+    if streaming:
+        mover = StreamingMover(
+            staging_clusters, deployment.warehouse, clock,
+            batch_interval_ms=MINUTE_MS,
+            watermark_delay_ms=2 * MINUTE_MS)
+        plan = streaming_chaos_plan(seed, hours) if faults else FaultPlan()
+    else:
+        mover = LogMover(
+            staging_clusters, warehouse=deployment.warehouse,
+            clock=clock, retry_policy=policy)
+        plan = default_chaos_plan(seed, hours) if faults else FaultPlan()
     injector = FaultInjector(plan, clock=clock, seed=seed)
     previous = get_default_injector()
     set_default_injector(injector)
@@ -215,44 +294,62 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
     sent_payloads: List[bytes] = []
     counter = 0
     try:
-        for h in range(hours):
-            hour_start = h * HOUR_MS
-            for s in range(SLICES_PER_HOUR):
-                target = hour_start + 2 * MINUTE_MS + s * 4 * MINUTE_MS
-                if clock.now() < target:
-                    clock.advance(target - clock.now())
-                for dc in deployment.datacenters.values():
-                    for daemon in dc.daemons:
-                        if h in quiet:
-                            break  # a suppressed-traffic hour
-                        for _ in range(ENTRIES_PER_SLICE):
-                            payload = f"m{counter:06d}".encode()
-                            counter += 1
-                            sent_payloads.append(payload)
-                            daemon.log(LogEntry(CHAOS_CATEGORY, payload))
-                    # Operators restart crashed aggregators promptly; the
-                    # restart replays the durable write-ahead buffer.
-                    if s >= 2:
-                        _restart_dead(deployment)
+        if streaming:
+            _stream_traffic(report, deployment, mover, pipeline_monitor,
+                            clock, hours, quiet, sent_payloads,
+                            faults=faults)
+            # Drain the tail fault-free, then keep polling until every
+            # landed hour is sealed and no staged data remains.
+            injector.disable()
+            _drain(deployment)
+            mover.run_until_sealed(
+                CHAOS_CATEGORY,
+                on_poll=lambda __: (pipeline_monitor.tick(clock.now())
+                                    if pipeline_monitor is not None
+                                    else None))
+        else:
+            for h in range(hours):
+                hour_start = h * HOUR_MS
+                for s in range(SLICES_PER_HOUR):
+                    target = (hour_start + 2 * MINUTE_MS
+                              + s * 4 * MINUTE_MS)
+                    if clock.now() < target:
+                        clock.advance(target - clock.now())
+                    for dc in deployment.datacenters.values():
+                        for daemon in dc.daemons:
+                            if h in quiet:
+                                break  # a suppressed-traffic hour
+                            for _ in range(ENTRIES_PER_SLICE):
+                                payload = f"m{counter:06d}".encode()
+                                counter += 1
+                                sent_payloads.append(payload)
+                                daemon.log(LogEntry(CHAOS_CATEGORY,
+                                                    payload))
+                        # Operators restart crashed aggregators promptly;
+                        # the restart replays the durable WAL.
+                        if s >= 2:
+                            _restart_dead(deployment)
+                    if pipeline_monitor is not None:
+                        pipeline_monitor.tick(clock.now())
+                boundary = (h + 1) * HOUR_MS
+                if clock.now() < boundary:
+                    clock.advance(boundary - clock.now())
+                _drain(deployment)
+                hour = hour_for_millis(CHAOS_CATEGORY, hour_start)
+                if mover.hour_has_data(hour):
+                    report.mover_restarts += _move_with_restarts(mover,
+                                                                 hour)
                 if pipeline_monitor is not None:
                     pipeline_monitor.tick(clock.now())
-            boundary = (h + 1) * HOUR_MS
-            if clock.now() < boundary:
-                clock.advance(boundary - clock.now())
+            # Backoff during the last hour can spill a few receives past
+            # the final boundary; sweep every hour with staged data.
+            injector.disable()
             _drain(deployment)
-            hour = hour_for_millis(CHAOS_CATEGORY, hour_start)
-            if mover.hour_has_data(hour):
-                report.mover_restarts += _move_with_restarts(mover, hour)
-            if pipeline_monitor is not None:
-                pipeline_monitor.tick(clock.now())
-        # Backoff during the last hour can spill a few receives past the
-        # final boundary; sweep every hour that still has staged data.
-        injector.disable()
-        _drain(deployment)
-        for h in range(hours + 1):
-            hour = hour_for_millis(CHAOS_CATEGORY, h * HOUR_MS)
-            if mover.hour_has_data(hour):
-                report.mover_restarts += _move_with_restarts(mover, hour)
+            for h in range(hours + 1):
+                hour = hour_for_millis(CHAOS_CATEGORY, h * HOUR_MS)
+                if mover.hour_has_data(hour):
+                    report.mover_restarts += _move_with_restarts(mover,
+                                                                 hour)
         if pipeline_monitor is not None:
             # Cooldown ticks: monitoring outlives the traffic, so event
             # alerts (failovers, mover crashes) get their quiet samples
@@ -270,6 +367,13 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
     report.retry_attempts = int(registry.total(obs_names.RETRY_ATTEMPTS))
     report.duplicates_skipped = sum(r.duplicates_skipped
                                     for r in mover.moves)
+    if streaming:
+        report.batches_landed = int(
+            registry.total(obs_names.STREAMING_BATCHES_LANDED))
+        report.hours_sealed = len(mover.hours_sealed())
+        report.late_reopens = mover.late_reopens()
+        _check_streaming(report, mover, faults=faults,
+                         quiet_hours=quiet)
     return report
 
 
@@ -329,6 +433,106 @@ def _move_with_restarts(mover: LogMover, hour) -> int:
         except InjectedCrash:
             restarts += 1
     raise RuntimeError(f"mover failed to converge on {hour} after "
+                       f"{MAX_MOVE_RESTARTS} restarts")
+
+
+def _stream_traffic(report: ChaosReport, deployment: ScribeDeployment,
+                    mover: StreamingMover,
+                    pipeline_monitor: Optional[PipelineMonitor],
+                    clock, hours: int, quiet: Set[int],
+                    sent_payloads: List[bytes], faults: bool) -> None:
+    """Drive the streaming soak: traffic, faults, and per-slice polls.
+
+    Same traffic shape as the hourly soak (12 slices per hour), but the
+    mover is polled after every slice instead of at hour boundaries.
+    On faulted multi-hour runs the held-datacenter scenario is armed:
+    every aggregator in ``STREAM_HELD_DC`` is crashed right after the
+    last hour-0 slice reached them -- their durable write-ahead buffers
+    keep that slice -- and stays down until hour 1's
+    ``STREAM_HOLD_RESTART_SLICE``, well past the hour-0 seal, so the
+    replay re-opens a sealed hour as genuinely late data.
+    """
+    held: Set[str] = set()
+    hold_armed = faults and hours >= 2 and 0 not in quiet
+    counter = 0
+    for h in range(hours):
+        hour_start = h * HOUR_MS
+        for s in range(SLICES_PER_HOUR):
+            target = hour_start + 2 * MINUTE_MS + s * 4 * MINUTE_MS
+            if clock.now() < target:
+                clock.advance(target - clock.now())
+            if h not in quiet:
+                for dc in deployment.datacenters.values():
+                    for daemon in dc.daemons:
+                        for _ in range(ENTRIES_PER_SLICE):
+                            payload = f"m{counter:06d}".encode()
+                            counter += 1
+                            sent_payloads.append(payload)
+                            daemon.log(LogEntry(CHAOS_CATEGORY, payload))
+            if hold_armed and h == 0 and s == SLICES_PER_HOUR - 1:
+                held = _hold_datacenter(deployment, STREAM_HELD_DC)
+            if held and h >= 1 and s >= STREAM_HOLD_RESTART_SLICE:
+                held = set()  # operators finally notice; WALs replay
+            _stream_drain(deployment, held)
+            report.mover_restarts += _poll_with_restarts(mover)
+            if pipeline_monitor is not None:
+                pipeline_monitor.tick(clock.now())
+
+
+def _hold_datacenter(deployment: ScribeDeployment, name: str) -> Set[str]:
+    """Deliver daemon backlogs, then crash the datacenter's aggregators.
+
+    The crash lands after delivery but before the aggregators roll to
+    staging, so the just-logged slice survives only in their durable
+    write-ahead buffers -- the late-data generator for the streaming
+    soak. Returns the crashed aggregator names (the hold set).
+    """
+    dc = deployment.datacenters[name]
+    for daemon in dc.daemons:
+        daemon.flush()
+    held: Set[str] = set()
+    for agg_name, aggregator in dc.aggregators.items():
+        if aggregator.alive:
+            aggregator.crash()
+        held.add(agg_name)
+    return held
+
+
+def _stream_drain(deployment: ScribeDeployment, held: Set[str]) -> None:
+    """One best-effort push toward staging between micro-batch polls.
+
+    Unlike the boundary :func:`_drain`, this runs *inside* noise windows
+    and makes no completeness promise: whatever stays stuck simply rides
+    into a later micro-batch. Aggregators named in ``held`` are left
+    down and unflushed -- nobody has restarted them yet.
+    """
+    for dc in deployment.datacenters.values():
+        for name, aggregator in dc.aggregators.items():
+            if not aggregator.alive and name not in held:
+                aggregator.start()
+    for _ in range(2):
+        for dc in deployment.datacenters.values():
+            for daemon in dc.daemons:
+                daemon.flush()
+            for name, aggregator in dc.aggregators.items():
+                if name not in held:
+                    aggregator.flush()
+
+
+def _poll_with_restarts(mover: StreamingMover,
+                        category: str = CHAOS_CATEGORY) -> int:
+    """Poll the streaming mover once, restarting through injected
+    crashes. ``force=True`` because a crashed attempt already consumed
+    the batch interval; its restart must be allowed to land immediately.
+    """
+    restarts = 0
+    for _ in range(MAX_MOVE_RESTARTS):
+        try:
+            mover.poll(category, force=True)
+            return restarts
+        except InjectedCrash:
+            restarts += 1
+    raise RuntimeError(f"streaming mover failed to converge after "
                        f"{MAX_MOVE_RESTARTS} restarts")
 
 
@@ -485,6 +689,36 @@ def _check_alerts(report: ChaosReport, plan: FaultPlan, faults: bool,
         if bad:
             report.violations.append(
                 f"conserved run left non-complete verdicts: {bad}")
+
+
+def _check_streaming(report: ChaosReport, mover: StreamingMover,
+                     faults: bool, quiet_hours: Set[int]) -> None:
+    """Streaming-only acceptance: sealing and the late-data path.
+
+    Every hour that landed batches must end sealed (the hourly contract
+    survives micro-batching), and on a faulted multi-hour run the
+    held-datacenter replay must actually have re-opened a sealed hour
+    and driven the ``completeness`` alert through a fire/resolve cycle.
+    """
+    unsealed = [str(hour) for hour in mover.unsealed_hours()]
+    if unsealed:
+        report.violations.append(
+            f"streaming left hour(s) unsealed: {unsealed}")
+    if not (faults and report.hours >= 2 and 0 not in quiet_hours):
+        return
+    if report.late_reopens < 1:
+        report.violations.append(
+            "streaming late-data scenario never re-opened a sealed hour")
+    engine = report.monitor.engine if report.monitor is not None else None
+    if engine is not None:
+        if engine.fired("completeness") < 1:
+            report.violations.append(
+                "late re-open never fired the completeness alert")
+        for episode in engine.episodes("completeness"):
+            if episode.active:
+                report.violations.append(
+                    f"completeness alert never resolved after the late "
+                    f"data landed (fired at {episode.fired_at_ms}ms)")
 
 
 def _check_coverage(report: ChaosReport, plan: FaultPlan) -> None:

@@ -19,6 +19,11 @@ LOGS_ROOT = "/logs"
 STAGING_ROOT = "/staging"
 SEQUENCES_ROOT = "/session_sequences"
 
+#: Warehouse area where the log mover preserves staging files that fail
+#: a sanity check. Quarantine is an accounted *sink*, not a loss: the
+#: original bytes stay recoverable for operators to inspect and replay.
+QUARANTINE_ROOT = "/quarantine"
+
 #: Name of the per-directory Elephant Twin index subdirectory. Index
 #: partitions live *beside* the data they cover (``.../HH/_index/``), so
 #: every scanner of warehouse data must exclude them -- use
@@ -159,6 +164,17 @@ def hour_columnar_dir(hour_path: str) -> str:
 def staging_path(datacenter: str, hour: LogHour) -> str:
     """Per-datacenter staging directory for one hour of one category."""
     return hour.path(root=f"{STAGING_ROOT}/{datacenter}")
+
+
+def quarantine_path(datacenter: str, hour: LogHour, filename: str) -> str:
+    """Warehouse path preserving one quarantined staging file.
+
+    Layout: ``/quarantine/<category>/YYYY/MM/DD/HH/<datacenter>-<name>``
+    -- per-category per-hour like the data itself, with the source
+    datacenter prefixed so colliding part names from different staging
+    clusters cannot overwrite each other.
+    """
+    return f"{hour.path(root=QUARANTINE_ROOT)}/{datacenter}-{filename}"
 
 
 def sequences_day_path(year: int, month: int, day: int) -> str:

@@ -14,8 +14,16 @@ from repro.logmover.mover import (
     LogMover,
     MoveResult,
 )
+from repro.logmover.streaming import (
+    BatchResult,
+    PollResult,
+    StreamingMover,
+)
 
 __all__ = [
+    "BatchResult",
+    "PollResult",
+    "StreamingMover",
     "DEFAULT_CHECKS",
     "SanityCheck",
     "SanityCheckError",

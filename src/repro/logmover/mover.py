@@ -38,7 +38,12 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 from repro.clock import LogicalClock
 from repro.faults.injector import KIND_CRASH, InjectedCrash, fault_point
 from repro.faults.retry import RetryPolicy
-from repro.hdfs.layout import LOGS_ROOT, LogHour, staging_path
+from repro.hdfs.layout import (
+    LOGS_ROOT,
+    LogHour,
+    quarantine_path,
+    staging_path,
+)
 from repro.hdfs.namenode import HDFS, HDFSUnavailableError
 from repro.logmover.checks import DEFAULT_CHECKS, SanityCheck, SanityCheckError
 from repro.obs import names as obs_names
@@ -69,6 +74,9 @@ class MoveResult:
     output_files: int
     quarantined: List[Tuple[str, str]] = field(default_factory=list)
     quarantined_messages: int = 0
+    #: Warehouse paths the quarantined staging files were preserved at
+    #: (parallel to ``quarantined``), so operators can inspect/replay.
+    quarantined_to: List[str] = field(default_factory=list)
     duplicates_skipped: int = 0
     #: Logical instant the hour was published (None for clock-less movers).
     #: The data-quality auditor derives per-hour freshness lag from it.
@@ -212,8 +220,14 @@ class LogMover:
         tracer = get_default_tracer()
         messages: List[bytes] = []
         quarantined: List[Tuple[str, str]] = []
+        quarantined_to: List[str] = []
         quarantined_messages = 0
+        # Per-attempt accumulators: counters flush to the registry only
+        # once the attempt succeeds, so a RetryPolicy retry after a
+        # failure at the rename step cannot recount the aborted
+        # attempt's duplicates and quarantines.
         duplicates_skipped = 0
+        check_failures: Dict[str, int] = {}
         input_files = 0
         bytes_moved = 0
         landed_ids: List[str] = []
@@ -234,17 +248,20 @@ class LogMover:
             for path in staging.glob_files(staging_path(datacenter, hour)):
                 input_files += 1
                 staged_paths.append((datacenter, path))
-                file_frames = decode_messages(staging.open_bytes(path))
+                raw = staging.open_bytes(path)
+                file_frames = decode_messages(raw)
                 file_ids = tracer.ids_for_path(path)
                 try:
                     for check in self._checks:
                         check(path, file_frames)
                 except SanityCheckError as exc:
                     quarantined.append((exc.path, exc.reason))
+                    quarantined_to.append(
+                        self._preserve_quarantined(datacenter, path, raw,
+                                                   hour))
                     quarantined_messages += len(file_frames)
-                    registry.counter(obs_names.MOVER_CHECK_FAILURES,
-                                     datacenter=datacenter,
-                                     category=hour.category).inc()
+                    check_failures[datacenter] = \
+                        check_failures.get(datacenter, 0) + 1
                     for trace_id in file_ids:
                         tracer.record(trace_id,
                                       obs_names.SPAN_MOVER_QUARANTINE,
@@ -257,9 +274,6 @@ class LogMover:
                         identity = (origin, seq)
                         if identity in seen or identity in landed_elsewhere:
                             duplicates_skipped += 1
-                            registry.counter(
-                                obs_names.MOVER_DUPLICATES_SKIPPED,
-                                category=hour.category).inc()
                             continue
                         seen.add(identity)
                         hour_identities.add(identity)
@@ -301,10 +315,21 @@ class LogMover:
                             output_files=output_files,
                             quarantined=quarantined,
                             quarantined_messages=quarantined_messages,
+                            quarantined_to=quarantined_to,
                             duplicates_skipped=duplicates_skipped,
                             moved_at_ms=(self._clock.now()
                                          if self._clock is not None
                                          else None))
+        if duplicates_skipped:
+            registry.counter(obs_names.MOVER_DUPLICATES_SKIPPED,
+                             category=hour.category).inc(duplicates_skipped)
+        for datacenter, failures in sorted(check_failures.items()):
+            registry.counter(obs_names.MOVER_CHECK_FAILURES,
+                             datacenter=datacenter,
+                             category=hour.category).inc(failures)
+        if quarantined_to:
+            registry.counter(obs_names.MOVER_QUARANTINED_FILES,
+                             category=hour.category).inc(len(quarantined_to))
         registry.counter(obs_names.MOVER_HOURS_MOVED,
                          category=hour.category).inc()
         registry.counter(obs_names.MOVER_FILES_MOVED,
@@ -340,6 +365,21 @@ class LogMover:
             get_default_registry().counter(obs_names.MOVER_CRASHES,
                                            site=site).inc()
             raise InjectedCrash(f"log mover crashed at {site}")
+
+    def _preserve_quarantined(self, datacenter: str, path: str,
+                              raw: bytes, hour: LogHour) -> str:
+        """Copy one quarantined staging file into the warehouse.
+
+        Quarantine is an accounted *sink*, not a loss: the staged bytes
+        survive at ``/quarantine/<category>/<hour>/<dc>-<name>`` after
+        staged cleanup, recoverable byte-for-byte for operators to
+        inspect and replay. ``overwrite=True`` keeps the copy idempotent
+        -- a retry or re-move of the hour re-preserves the same file.
+        """
+        filename = path.rsplit("/", 1)[-1]
+        dest = quarantine_path(datacenter, hour, filename)
+        self._warehouse.create(dest, raw, codec=self._codec, overwrite=True)
+        return dest
 
     def _trace_now(self, tracer, trace_id: str) -> int:
         """Span timestamp: the mover's clock, else the trace's latest time.

@@ -44,6 +44,13 @@ MOVER_BYTES_MOVED = "logmover_bytes_moved_total"
 MOVER_CHECK_FAILURES = "logmover_check_failures_total"
 MOVER_DUPLICATES_SKIPPED = "logmover_duplicates_skipped_total"
 MOVER_CRASHES = "logmover_crashes_total"
+MOVER_QUARANTINED_FILES = "logmover_quarantined_files_total"
+
+# -- streaming micro-batch landing (repro.logmover.streaming) -------------
+STREAMING_BATCHES_LANDED = "streaming_batches_landed_total"
+STREAMING_WATERMARK_LAG = "streaming_watermark_lag_ms"
+STREAMING_HOURS_SEALED = "streaming_hours_sealed_total"
+STREAMING_LATE_REOPENS = "streaming_late_reopens_total"
 
 # -- fault injection and recovery ----------------------------------------
 FAULTS_INJECTED = "faults_injected_total"

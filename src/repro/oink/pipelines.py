@@ -29,6 +29,7 @@ from repro.core.catalog import ClientEventCatalog
 from repro.core.event import CLIENT_EVENTS_CATEGORY
 from repro.hdfs.layout import EPOCH, LogHour, hour_for_millis
 from repro.logmover.mover import LogMover
+from repro.logmover.streaming import PollResult, StreamingMover
 from repro.obs.monitor import HourAudit, PipelineMonitor
 from repro.oink.rollups import RollupJob, RollupResult
 from repro.oink.scheduler import Oink
@@ -52,6 +53,8 @@ class PipelineState:
     #: Latest per-(category, hour) data-quality verdicts (when a monitor
     #: is attached); each ``quality_audit`` run replaces the list.
     audits: List[HourAudit] = field(default_factory=list)
+    #: Streaming pipelines only: every ``log_mover`` poll's result.
+    polls: List[PollResult] = field(default_factory=list)
 
     def hours_moved_for_day(self, date: Date) -> int:
         """How many of a day's hours the mover has published."""
@@ -66,7 +69,7 @@ def _date_of_period(period_start_ms: int) -> Date:
     return (when.year, when.month, when.day)
 
 
-def register_standard_pipeline(oink: Oink, mover: LogMover,
+def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
                                builder: SessionSequenceBuilder,
                                rollup_job: Optional[RollupJob] = None,
                                category: str = CLIENT_EVENTS_CATEGORY,
@@ -75,6 +78,12 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
                                monitor: Optional[PipelineMonitor] = None
                                ) -> PipelineState:
     """Register the mover/build/rollup/catalog jobs on an Oink instance.
+
+    ``mover`` may be the hourly :class:`LogMover` (the ``log_mover`` job
+    then runs hourly, moving each just-closed hour) or a
+    :class:`StreamingMover` (the job runs at the mover's micro-batch
+    cadence, polling for due batches; hours reach ``state.moved_hours``
+    when their seal commits, so the daily gates fire exactly as before).
 
     ``build_indexes`` adds a daily ``index_build`` job that incrementally
     (re)builds the day's Elephant Twin partitions once the mover has
@@ -95,6 +104,11 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
     sampling the registry, re-auditing every closed (category, hour),
     and evaluating alert rules. The latest verdicts land in
     ``state.audits``.
+
+    Register the pipeline at (or just before) the first hour it should
+    cover: Oink runs each job's periods strictly in order, so daily jobs
+    registered long before their first data would wait behind the empty
+    leading days' closed gates.
 
     Returns the :class:`PipelineState` the jobs fill in as the caller
     advances the clock and calls :meth:`Oink.run_pending`.
@@ -145,13 +159,26 @@ def register_standard_pipeline(oink: Oink, mover: LogMover,
     def day_has_moved_hours(period_start: int) -> bool:
         return state.hours_moved_for_day(_date_of_period(period_start)) > 0
 
+    def poll_stream(period_start: int) -> None:
+        result = mover.poll(category)
+        state.polls.append(result)
+        state.moved_hours.extend(result.sealed)
+
     def quality_audit(period_start: int) -> None:
         # Tick at the hour's close so the period being audited counts
         # as a closed hour.
         ctx = monitor.tick(period_start + MILLIS_PER_HOUR)
         state.audits = ctx.audits
 
-    oink.hourly("log_mover", move_hour)
+    if isinstance(mover, StreamingMover):
+        # Streaming: the mover job runs at the micro-batch cadence and
+        # an hour reaches ``moved_hours`` when its seal commits. The
+        # hourly/daily consumers are untouched -- an hourly dependency
+        # on ``log_mover`` maps to the minute instance at the hour's
+        # start, which is long finished by the time the hour closes.
+        oink.schedule("log_mover", poll_stream, mover.batch_interval_ms)
+    else:
+        oink.hourly("log_mover", move_hour)
     if monitor is not None:
         oink.hourly("quality_audit", quality_audit,
                     depends_on=["log_mover"])

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.faults.chaos import ChaosReport, default_chaos_plan, run_chaos
+from repro.faults.chaos import (
+    ChaosReport,
+    default_chaos_plan,
+    run_chaos,
+    streaming_chaos_plan,
+)
 from repro.faults.injector import get_default_injector
 from repro.obs.metrics import MetricsRegistry, set_default_registry
 
@@ -66,3 +71,42 @@ class TestRunChaos:
         report.violations.append("something broke")
         assert "FAIL" in report.summary()
         assert "something broke" in report.summary()
+
+
+class TestStreamingChaos:
+    def test_streaming_plan_arms_micro_batch_crash_sites(self):
+        plan = streaming_chaos_plan(seed=0, hours=2)
+        sites = [rule.site for rule in plan.rules]
+        assert any("batch.pre_rename" in s for s in sites)
+        assert any("batch.pre_cleanup" in s for s in sites)
+        assert any("seal.pre_rename" in s for s in sites)
+        assert any(s.startswith("hdfs.") for s in sites)
+        assert any(s.startswith("aggregator.") for s in sites)
+
+    def test_streaming_soak_passes_with_late_reopen(self):
+        report = run_chaos(1, hours=2, streaming=True)
+        assert report.ok, report.summary()
+        assert report.streaming
+        assert report.accepted == (report.landed + report.dropped +
+                                   report.quarantined)
+        # Micro-batches actually happened: far more landings than hours.
+        assert report.batches_landed > 2 * report.hours
+        assert report.hours_sealed >= report.hours
+        # The held-datacenter WAL replay re-opened a sealed hour, the
+        # completeness alert saw it, and everything still conserved.
+        assert report.late_reopens >= 1
+        assert report.mover_restarts >= 2
+        assert report.alerts_fired > 0
+        assert report.alerts_unresolved == 0
+
+    def test_streaming_fault_free_run_is_quiet(self):
+        report = run_chaos(3, hours=2, streaming=True, faults=False)
+        assert report.ok, report.summary()
+        assert report.late_reopens == 0
+        assert report.alerts_fired == 0
+        assert report.hours_sealed >= report.hours
+
+    def test_streaming_summary_mentions_mode(self):
+        report = run_chaos(1, hours=1, streaming=True)
+        assert "(streaming)" in report.summary()
+        assert "batches_landed" in report.summary()

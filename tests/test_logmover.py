@@ -268,6 +268,92 @@ class TestMultipleCategories:
         assert warehouse.glob_files("/logs/ad_impressions")
 
 
+class TestQuarantinePreservation:
+    """Quarantine is an accounted sink, not a loss: the staged bytes
+    survive in the warehouse after staged cleanup."""
+
+    def test_quarantined_file_recoverable_after_cleanup(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "good", [b"fine"])
+        _stage(s1, "dc1", "bad", [b"ok", b""])
+        bad_path = [p for p in s1.glob_files(staging_path("dc1", HOUR))
+                    if p.endswith("bad")][0]
+        original = s1.open_bytes(bad_path)
+        result = mover.move_hour(HOUR)
+        # Staged inputs are gone...
+        assert s1.glob_files(staging_path("dc1", HOUR)) == []
+        # ...but the quarantined file survives, byte for byte, at a
+        # warehouse path named after its hour and origin datacenter.
+        assert len(result.quarantined_to) == 1
+        dest = result.quarantined_to[0]
+        assert dest.startswith("/quarantine/client_events/")
+        assert dest.endswith("dc1-bad")
+        assert warehouse.open_bytes(dest) == original
+        assert decode_messages(warehouse.open_bytes(dest)) == [b"ok", b""]
+
+    def test_re_move_re_preserves_without_conflict(self):
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "bad", [b""])
+        _stage(s1, "dc1", "good", [b"fine"])
+        mover.move_hour(HOUR, delete_staged=False)
+        # The same bad file is seen again on the re-move; the preserved
+        # copy is simply overwritten, not a FileExistsError.
+        result = mover.move_hour(HOUR)
+        assert len(result.quarantined_to) == 1
+        assert warehouse.exists(result.quarantined_to[0])
+
+    def test_quarantined_files_metric(self):
+        old = set_default_registry(MetricsRegistry())
+        try:
+            s1, warehouse = HDFS(), HDFS()
+            mover = LogMover({"dc1": s1}, warehouse)
+            _stage(s1, "dc1", "bad", [b""])
+            _stage(s1, "dc1", "good", [b"fine"])
+            mover.move_hour(HOUR)
+            registry = get_default_registry()
+            assert registry.total(obs_names.MOVER_QUARANTINED_FILES) == 1
+        finally:
+            set_default_registry(old)
+
+
+class TestCounterIdempotence:
+    """Per-attempt metric accumulators: RetryPolicy retries of a failed
+    attempt must not recount that attempt's duplicates or quarantines."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_injector(self):
+        yield
+        set_default_injector(None)
+
+    def test_retried_move_counts_duplicates_and_failures_once(self):
+        old = set_default_registry(MetricsRegistry())
+        try:
+            s1, warehouse = HDFS(), HDFS()
+            clock = LogicalClock()
+            mover = LogMover({"dc1": s1}, warehouse, clock=clock,
+                             retry_policy=RetryPolicy(max_attempts=4,
+                                                      seed=7))
+            _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a")])
+            _stage(s1, "dc1", "p2", [encode_envelope("h1", 0, b"a")])
+            _stage(s1, "dc1", "bad", [b"ok", b""])
+            # The first two warehouse writes hit an outage, so two full
+            # attempts read the staged files (counting the duplicate and
+            # the quarantine) and then abort before the rename.
+            plan = FaultPlan()
+            plan.add("hdfs.hdfs.write", KIND_UNAVAILABLE, max_fires=2)
+            set_default_injector(FaultInjector(plan, clock=clock))
+            result = mover.move_hour(HOUR)
+            registry = get_default_registry()
+            assert result.duplicates_skipped == 1
+            assert registry.total(obs_names.MOVER_DUPLICATES_SKIPPED) == 1
+            assert registry.total(obs_names.MOVER_CHECK_FAILURES) == 1
+            assert registry.total(obs_names.MOVER_QUARANTINED_FILES) == 1
+        finally:
+            set_default_registry(old)
+
+
 class TestExactlyOnce:
     """Envelope dedup, crash-site convergence, and the delivery ledger."""
 
@@ -341,6 +427,25 @@ class TestExactlyOnce:
         mover.move_hour(HOUR)
         assert mover.landed_identities(HOUR) == {("h1", 0), ("h2", 5)}
         assert mover.landed_identities() == {("h1", 0), ("h2", 5)}
+
+    def test_late_data_re_move_unions_exactly_once(self):
+        """Replace semantics: late staged data re-moves the hour and the
+        union of original and late messages lands exactly once."""
+        s1, warehouse = HDFS(), HDFS()
+        mover = LogMover({"dc1": s1}, warehouse)
+        _stage(s1, "dc1", "p1", [encode_envelope("h1", 0, b"a")])
+        mover.move_hour(HOUR)
+        # Late data arrives: a resend of the committed identity plus a
+        # genuinely new entry. The hour's own ledger is excluded from
+        # dedup, so the rebuild re-lands 'a' (the original input is
+        # gone) instead of suppressing it -- replace, not append.
+        _stage(s1, "dc1", "late", [encode_envelope("h1", 0, b"a"),
+                                   encode_envelope("h1", 1, b"b")])
+        result = mover.move_hour(HOUR)
+        assert result.messages_moved == 2
+        assert result.duplicates_skipped == 0
+        assert sorted(_warehouse_messages(warehouse)) == [b"a", b"b"]
+        assert mover.landed_identities(HOUR) == {("h1", 0), ("h1", 1)}
 
     def test_ledger_not_committed_without_staged_deletion(self):
         s1, warehouse = HDFS(), HDFS()

@@ -326,6 +326,61 @@ class TestStandardPipeline:
         assert not oink.traces.for_job("session_sequences")
 
 
+class TestInOrderExecution:
+    """Within one job, periods run strictly in order: a blocked or
+    failing period holds back its successors."""
+
+    def test_gate_blocked_period_holds_back_later_periods(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        runs = []
+        blocked = {0}
+        oink.hourly("incremental", runs.append,
+                    gate=lambda p: p // MILLIS_PER_HOUR not in blocked)
+        clock.advance(3 * MILLIS_PER_HOUR)
+        oink.run_pending()
+        # Hours 1 and 2 must not execute ahead of gate-blocked hour 0.
+        assert runs == []
+        blocked.clear()
+        oink.run_pending()
+        assert runs == [0, MILLIS_PER_HOUR, 2 * MILLIS_PER_HOUR]
+
+    def test_failed_period_blocks_successors_until_retries_exhausted(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        runs = []
+
+        def flaky(period_start):
+            runs.append(period_start)
+            if period_start == 0:
+                raise RuntimeError("boom")
+
+        oink.hourly("flaky", flaky, max_retries=1)
+        clock.advance(2 * MILLIS_PER_HOUR)
+        oink.run_pending()
+        assert runs == [0]  # hour 1 waits behind the failed hour 0
+        oink.run_pending()
+        assert runs == [0, 0]  # the retry, still blocking
+        oink.run_pending()
+        # Retries exhausted: hour 0 stops being due, hour 1 unblocks.
+        assert runs == [0, 0, MILLIS_PER_HOUR]
+
+    def test_dependency_blocked_period_holds_back_later_periods(self):
+        clock = LogicalClock()
+        oink = Oink(clock)
+        upstream_done = []
+        runs = []
+        oink.hourly("upstream", upstream_done.append,
+                    gate=lambda p: p >= MILLIS_PER_HOUR)
+        oink.hourly("downstream", runs.append, depends_on=["upstream"])
+        clock.advance(3 * MILLIS_PER_HOUR)
+        oink.run_pending()
+        # upstream hour 0 is gate-blocked, so downstream must run
+        # nothing -- not even hours whose upstream instance succeeded.
+        assert upstream_done == []
+        assert runs == []
+
+
 class TestCatchUp:
     def test_owed_periods_run_after_downtime(self):
         """Oink catches up on every period missed while it was down."""

@@ -717,6 +717,11 @@ class TestPipelineIntegration:
 
         staging, warehouse = self._staged_world(hours=(3, 4))
         clock = LogicalClock()
+        # Register the pipeline at the covered day's start: Oink runs
+        # periods strictly in order, so a pipeline registered months
+        # before its first data would hold every daily job behind the
+        # empty days' closed gates.
+        clock.advance_to(millis_for_hour(_hour(0)))
         oink = Oink(clock)
         mover = LogMover({"dc1": staging}, warehouse)
         state = register_standard_pipeline(
