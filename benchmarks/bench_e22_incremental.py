@@ -1,0 +1,263 @@
+"""E22 -- event-to-rollup-visible freshness: daily batch vs. incremental.
+
+Before this change, the materialized rollup tables (`/rollups/...`) were
+produced by a *daily* Oink job gated on the previous day being fully
+landed: an event logged at 00:10 waited essentially a full day before
+any dashboard could count it. The incremental path
+(`repro.oink.incremental`) folds each hour's contribution into the
+day's tables the moment the streaming mover seals that hour, so the
+same event is counted minutes after its hour closes.
+
+Both legs here see the *same* streaming-landed warehouse -- identical
+traffic, identical landing -- so the measured difference is purely when
+the rollup tables become visible:
+
+* **daily** leg: the day's tables materialize when the daily job fires
+  at the next midnight (the old trigger);
+* **incremental** leg: each hour's delta folds at seal time
+  (hour end + watermark delay).
+
+The benchmark asserts the incremental tables are byte-identical to a
+from-scratch daily rebuild (freshness trades no correctness) and that
+the p50 *and* p95 freshness gains are at least 5x.
+
+Runs two ways:
+
+* under pytest (with pytest-benchmark) as part of the bench suite;
+* as a script -- ``python benchmarks/bench_e22_incremental.py
+  [--smoke]`` -- for CI, emitting ``BENCH_e22.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.clock import (
+    LogicalClock,
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+)
+from repro.core.event import ClientEvent
+from repro.hdfs.layout import hour_for_millis, staging_path
+from repro.hdfs.namenode import HDFS
+from repro.logmover.streaming import StreamingMover
+from repro.oink.incremental import IncrementalPipeline
+from repro.oink.rollups import ROLLUP_LEVELS, RollupJob, rollup_day_dir
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.scribe.aggregator import encode_messages
+from repro.scribe.message import encode_envelope
+
+SEED = 1
+HOURS = 3
+SMOKE_HOURS = 2
+CATEGORY = "client_events"
+SLICES_PER_HOUR = 12
+EVENTS_PER_SLICE = 8
+SESSION_GAP_MS = 10 * MILLIS_PER_MINUTE
+
+EVENT_NAMES = (
+    "web:home:main:stream:tweet:impression",
+    "web:home:main:stream:tweet:favorite",
+    "iphone:profile:header:card:avatar:click",
+    "android:home:main:stream:retweet:click",
+)
+COUNTRIES = ("us", "jp", "de")
+
+#: Where the incremental leg materializes vs. the daily rebuild.
+INCR_ROOT = "/rollups"
+DAILY_ROOT = "/rollups_daily"
+
+_RECORD_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_e22.json")
+
+
+def _merge_record(section, payload, hours):
+    """Accumulate one section into BENCH_e22.json (read-modify-write)."""
+    record = {}
+    if os.path.exists(_RECORD_PATH):
+        with open(_RECORD_PATH) as handle:
+            record = json.load(handle)
+    record["experiment"] = "E22 incremental rollup freshness"
+    record["workload"] = {
+        "seed": SEED, "hours": hours,
+        "events_per_hour": SLICES_PER_HOUR * EVENTS_PER_SLICE,
+    }
+    record[section] = payload
+    with open(_RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted list."""
+    index = min(len(sorted_values) - 1,
+                int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _lag_stats(lags):
+    lags = sorted(lags)
+    return {"p50": _percentile(lags, 0.50),
+            "p95": _percentile(lags, 0.95),
+            "max": lags[-1]}
+
+
+def freshness_scenario(hours):
+    """One streaming-landed warehouse; rollup visibility for both legs.
+
+    Stages identical envelope-framed client events slice by slice,
+    polls the streaming mover each slice, and lets an
+    :class:`IncrementalPipeline` observe every poll. Each event's
+    *incremental* rollup-visible time is the poll that sealed (or
+    re-sealed) its hour; its *daily* time is the next midnight, when the
+    old daily job's gate would first fire.
+    """
+    set_default_registry(MetricsRegistry())
+    staging = HDFS()
+    warehouse = HDFS()
+    clock = LogicalClock()
+    mover = StreamingMover({"dc": staging}, warehouse, clock,
+                           batch_interval_ms=MILLIS_PER_MINUTE,
+                           watermark_delay_ms=2 * MILLIS_PER_MINUTE)
+    pipeline = IncrementalPipeline(warehouse, category=CATEGORY,
+                                   inactivity_gap_ms=SESSION_GAP_MS,
+                                   rollup_root=INCR_ROOT)
+
+    logged_at = {}      # event key -> logical log time
+    visible_at = {}     # event key -> logical rollup-visible time
+    hour_events = {}    # LogHour -> [event keys]
+
+    def observe(poll):
+        for delta in pipeline.observe_poll(poll):
+            hour_keys = hour_events.get(delta.hour, ())
+            for key in hour_keys:
+                visible_at.setdefault(key, clock.now())
+
+    counter = 0
+    start = time.perf_counter()
+    for h in range(hours):
+        for s in range(SLICES_PER_HOUR):
+            target = h * MILLIS_PER_HOUR + s * 5 * MILLIS_PER_MINUTE
+            if clock.now() < target:
+                clock.advance(target - clock.now())
+            hour = hour_for_millis(CATEGORY, clock.now())
+            frames = []
+            for _ in range(EVENTS_PER_SLICE):
+                event = ClientEvent.make(
+                    EVENT_NAMES[counter % len(EVENT_NAMES)],
+                    user_id=1 + counter % 11,
+                    session_id=f"s{counter % 11}-{counter // 33}",
+                    ip=f"10.0.{counter % 11}.1",
+                    timestamp=clock.now(),
+                    details={"n": str(counter)},
+                    country=COUNTRIES[counter % len(COUNTRIES)],
+                    logged_in=bool(counter % 2))
+                frames.append(encode_envelope("bench", counter,
+                                              event.to_bytes()))
+                logged_at[counter] = clock.now()
+                hour_events.setdefault(hour, []).append(counter)
+                counter += 1
+            staging.create(
+                f"{staging_path('dc', hour)}/part-{counter:06d}",
+                encode_messages(frames), codec="zlib")
+            observe(mover.poll(CATEGORY, force=True))
+    mover.run_until_sealed(CATEGORY, on_poll=observe)
+    missing = set(logged_at) - set(visible_at)
+    assert not missing, (
+        f"{len(missing)} event(s) never became rollup-visible")
+
+    # The old trigger: the daily job's gate first passes at the next
+    # midnight after the day's hours are landed.
+    daily_visible_ms = MILLIS_PER_DAY
+    if clock.now() < daily_visible_ms:
+        clock.advance(daily_visible_ms - clock.now())
+    daily_job = RollupJob(warehouse, category=CATEGORY, root=DAILY_ROOT)
+    days = sorted({(hour.year, hour.month, hour.day)
+                   for hour in hour_events})
+    for day in days:
+        daily_job.run(*day)
+    wall_s = time.perf_counter() - start
+
+    # Freshness trades no correctness: the continuously-updated tables
+    # are byte-identical to the from-scratch daily rebuild.
+    parity = True
+    for day in days:
+        for level in ROLLUP_LEVELS:
+            live = warehouse.open_bytes(
+                f"{rollup_day_dir(*day, root=INCR_ROOT)}"
+                f"/level-{level}.json")
+            rebuilt = warehouse.open_bytes(
+                f"{rollup_day_dir(*day, root=DAILY_ROOT)}"
+                f"/level-{level}.json")
+            assert live == rebuilt, (
+                f"rollup parity broken: {day} level {level}")
+    assert sorted(pipeline.rollup.days()) == days
+
+    incr = _lag_stats([visible_at[k] - logged_at[k] for k in logged_at])
+    daily = _lag_stats([daily_visible_ms - logged_at[k]
+                        for k in logged_at])
+    gain = {q: round(daily[q] / max(1, incr[q]), 2)
+            for q in ("p50", "p95")}
+    for quantile in ("p50", "p95"):
+        assert gain[quantile] >= 5.0, (
+            f"incremental {quantile} freshness gain {gain[quantile]}x "
+            "below the 5x floor")
+    return {
+        "daily": {"lag_ms": daily, "trigger": "next-midnight gate"},
+        "incremental": {
+            "lag_ms": incr,
+            "wall_s": wall_s,
+            "events": len(logged_at),
+            "hours_folded": pipeline.hours_processed,
+            "deltas_applied": pipeline.rollup.deltas_applied,
+        },
+        "freshness_gain": gain,
+        "parity": parity,
+    }
+
+
+# ---------------------------------------------------------------- pytest
+
+def test_incremental_beats_daily_rollup_freshness(benchmark):
+    result = benchmark.pedantic(lambda: freshness_scenario(HOURS),
+                                rounds=1, iterations=1)
+    for section in ("daily", "incremental", "freshness_gain", "parity"):
+        _merge_record(section, result[section], HOURS)
+
+
+# ---------------------------------------------------------------- script
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorter soak for CI smoke runs")
+    args = parser.parse_args(argv)
+    hours = SMOKE_HOURS if args.smoke else HOURS
+
+    result = freshness_scenario(hours)
+    for section in ("daily", "incremental", "freshness_gain", "parity"):
+        _merge_record(section, result[section], hours)
+
+    daily, incr = result["daily"], result["incremental"]
+    print(f"=== E22 rollup freshness (seed {SEED}, {hours}h, "
+          f"{incr['events']} events) ===")
+    for name, lag in (("daily", daily["lag_ms"]),
+                      ("incremental", incr["lag_ms"])):
+        print(f"  {name:12s} p50={lag['p50'] / 60000:7.1f}min "
+              f"p95={lag['p95'] / 60000:7.1f}min "
+              f"max={lag['max'] / 60000:7.1f}min")
+    print(f"  gain         p50={result['freshness_gain']['p50']}x "
+          f"p95={result['freshness_gain']['p95']}x")
+    print(f"  parity: {result['parity']} "
+          f"({incr['hours_folded']} hours folded, "
+          f"{incr['deltas_applied']} deltas)")
+    print(f"record: {_RECORD_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

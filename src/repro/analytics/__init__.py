@@ -48,6 +48,7 @@ from repro.analytics.dashboard import (
     PipelineHealth,
     bucket_label,
     format_pipeline_health,
+    format_rollup_panel,
     pipeline_health,
     summarize_day,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "PipelineHealth",
     "bucket_label",
     "format_pipeline_health",
+    "format_rollup_panel",
     "pipeline_health",
     "summarize_day",
 ]

@@ -114,6 +114,14 @@ class PipelineHealth:
     alerts_resolved: int = 0
     audits_run: int = 0
     hours_by_verdict: Dict[str, int] = None  # type: ignore[assignment]
+    # Incremental sessionization / continuously-updated rollups section
+    # (zero unless a streaming pipeline runs an IncrementalPipeline).
+    sessions_open: int = 0
+    sessions_closed: int = 0
+    sessions_reopened: int = 0
+    rollup_deltas_applied: int = 0
+    rollup_corrections: int = 0
+    rollup_correction_lag_p95_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.hours_by_verdict is None:
@@ -132,6 +140,12 @@ class PipelineHealth:
         return bool(self.audits_run or self.alerts_fired
                     or self.alerts_active)
 
+    @property
+    def incremental(self) -> bool:
+        """True when an incremental pipeline has reported activity."""
+        return bool(self.sessions_open or self.sessions_closed
+                    or self.rollup_deltas_applied)
+
 
 def pipeline_health(registry: Optional[MetricsRegistry] = None
                     ) -> PipelineHealth:
@@ -144,6 +158,8 @@ def pipeline_health(registry: Optional[MetricsRegistry] = None
     if registry is None:
         registry = get_default_registry()
     latency = registry.merged_histogram(obs_names.PIPELINE_DELIVERY_LATENCY)
+    correction_lag = registry.merged_histogram(
+        obs_names.ROLLUP_CORRECTION_LAG)
     hours_by_verdict = {
         labels.get("verdict", ""): int(metric.value)
         for labels, metric in registry.series(obs_names.QUALITY_HOURS)
@@ -167,6 +183,16 @@ def pipeline_health(registry: Optional[MetricsRegistry] = None
         alerts_resolved=int(registry.total(obs_names.ALERTS_RESOLVED)),
         audits_run=int(registry.total(obs_names.QUALITY_AUDITS)),
         hours_by_verdict=hours_by_verdict,
+        sessions_open=int(registry.total(
+            obs_names.INCREMENTAL_OPEN_SESSIONS)),
+        sessions_closed=int(registry.total(
+            obs_names.INCREMENTAL_SESSIONS_CLOSED)),
+        sessions_reopened=int(registry.total(
+            obs_names.INCREMENTAL_SESSIONS_REOPENED)),
+        rollup_deltas_applied=int(registry.total(
+            obs_names.ROLLUP_DELTAS_APPLIED)),
+        rollup_corrections=correction_lag.count,
+        rollup_correction_lag_p95_ms=correction_lag.percentile(0.95),
     )
 
 
@@ -201,6 +227,47 @@ def format_pipeline_health(health: PipelineHealth) -> str:
             f"{verdict}={count}" for verdict, count
             in sorted(health.hours_by_verdict.items())) or "none audited"
         lines.append(f"  hours    {verdicts}")
+    if health.incremental:
+        lines.append(
+            f"  sessions open {health.sessions_open:d}   "
+            f"closed {health.sessions_closed:d}   "
+            f"reopened {health.sessions_reopened:d}")
+        correction = (
+            f"corrections {health.rollup_corrections:d} "
+            f"(lag p95={health.rollup_correction_lag_p95_ms:.0f}ms)"
+            if health.rollup_corrections else "corrections 0")
+        lines.append(
+            f"  rollups  deltas {health.rollup_deltas_applied:d}   "
+            + correction)
+    return "\n".join(lines)
+
+
+def format_rollup_panel(warehouse, date: Date, level: int = 1,
+                        top_n: int = 5, root: Optional[str] = None) -> str:
+    """Render one day's top rollup counts from the materialized tables.
+
+    A day that was never materialized -- or whose materialization is
+    mid-commit -- renders as a "no data" panel rather than crashing the
+    dashboard (:class:`repro.oink.rollups.MissingRollupError` is caught
+    here, not propagated to the renderer).
+    """
+    from repro.oink.rollups import (
+        ROLLUPS_ROOT, MissingRollupError, load_rollups)
+
+    year, month, day = date
+    header = f"rollups {year:04d}-{month:02d}-{day:02d} (level {level})"
+    try:
+        result = load_rollups(warehouse, year, month, day,
+                              root=root if root is not None
+                              else ROLLUPS_ROOT)
+    except MissingRollupError as exc:
+        return f"{header}\n  no data ({exc.detail})"
+    lines = [header]
+    for (name_key, country, status), count in result.top(level, top_n):
+        lines.append(f"  {':'.join(name_key):<40s} "
+                     f"{country:>8s} {status:>10s} {count:>8d}")
+    if len(lines) == 1:
+        lines.append("  no events")
     return "\n".join(lines)
 
 

@@ -94,6 +94,11 @@ class SessionSequenceBuilder:
         """The log category the builder scans."""
         return self._category
 
+    @property
+    def inactivity_gap_ms(self) -> int:
+        """The session-splitting inactivity gap this builder uses."""
+        return self._sessionizer.inactivity_gap_ms
+
     # -- reading raw logs ------------------------------------------------
     def iter_day_events(self, year: int, month: int,
                         day: int) -> Iterator[ClientEvent]:

@@ -34,6 +34,8 @@ from repro.faults.injector import (
     get_default_injector,
     set_default_injector,
 )
+from repro.core.event import ClientEvent
+from repro.core.sessionizer import Sessionizer
 from repro.faults.retry import RetryPolicy
 from repro.hdfs.layout import LOGS_ROOT, hour_for_millis
 from repro.logmover.mover import LogMover
@@ -70,6 +72,25 @@ MAX_MOVE_RESTARTS = 5
 STREAM_HELD_DC = "east"
 STREAM_HOLD_RESTART_SLICE = 3
 
+#: Streaming soak sessionization: each daemon rotates its session id
+#: every SESSION_SLICES slices (so sessions end mid-run and close as the
+#: watermark passes), and the inactivity gap is wide enough that the
+#: held-datacenter WAL replay -- the hour-0 tail slice, 4 minutes after
+#: that session's last on-time event -- extends a session that closed at
+#: the hour-0 seal, forcing a genuine incremental *re-open*.
+SESSION_SLICES = 3
+CHAOS_SESSION_GAP_MS = 10 * MINUTE_MS
+
+#: Event names the streaming soak cycles through (exercises every rollup
+#: level with more than one client / page / action).
+CHAOS_EVENT_NAMES = (
+    "web:home:main:stream:tweet:impression",
+    "web:home:main:stream:tweet:favorite",
+    "iphone:profile:header:card:avatar:click",
+    "android:home:main:stream:retweet:click",
+)
+CHAOS_COUNTRIES = ("us", "jp", "de")
+
 
 @dataclass
 class ChaosReport:
@@ -93,6 +114,13 @@ class ChaosReport:
     batches_landed: int = 0
     hours_sealed: int = 0
     late_reopens: int = 0
+    #: Incremental consumer accounting (streaming soaks only): sessions
+    #: closed/re-opened by the seal-driven sessionizer, rollup days
+    #: materialized, and correction deltas applied on late re-seals.
+    sessions_closed: int = 0
+    sessions_reopened: int = 0
+    rollup_days: int = 0
+    rollup_corrections: int = 0
     hour_verdicts: Dict[str, str] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
     #: The live monitor when the soak ran with ``monitor=True`` (not
@@ -122,6 +150,11 @@ class ChaosReport:
                 f"  batches_landed={self.batches_landed} "
                 f"hours_sealed={self.hours_sealed} "
                 f"late_reopens={self.late_reopens}")
+            lines.append(
+                f"  sessions_closed={self.sessions_closed} "
+                f"sessions_reopened={self.sessions_reopened} "
+                f"rollup_days={self.rollup_days} "
+                f"rollup_corrections={self.rollup_corrections}")
         if self.monitor is not None:
             complete = sum(1 for v in self.hour_verdicts.values()
                            if v == VERDICT_COMPLETE)
@@ -267,12 +300,18 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
     clock = deployment.clock
     staging_clusters = {name: dc.staging
                         for name, dc in deployment.datacenters.items()}
+    incremental: Optional["IncrementalPipeline"] = None
     if streaming:
+        from repro.oink.incremental import IncrementalPipeline
+
         mover = StreamingMover(
             staging_clusters, deployment.warehouse, clock,
             batch_interval_ms=MINUTE_MS,
             watermark_delay_ms=2 * MINUTE_MS)
         plan = streaming_chaos_plan(seed, hours) if faults else FaultPlan()
+        incremental = IncrementalPipeline(
+            deployment.warehouse, category=CHAOS_CATEGORY,
+            inactivity_gap_ms=CHAOS_SESSION_GAP_MS)
     else:
         mover = LogMover(
             staging_clusters, warehouse=deployment.warehouse,
@@ -297,16 +336,18 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
         if streaming:
             _stream_traffic(report, deployment, mover, pipeline_monitor,
                             clock, hours, quiet, sent_payloads,
-                            faults=faults)
+                            faults=faults, incremental=incremental)
+
+            def on_tail_poll(poll) -> None:
+                incremental.observe_poll(poll)
+                if pipeline_monitor is not None:
+                    pipeline_monitor.tick(clock.now())
+
             # Drain the tail fault-free, then keep polling until every
             # landed hour is sealed and no staged data remains.
             injector.disable()
             _drain(deployment)
-            mover.run_until_sealed(
-                CHAOS_CATEGORY,
-                on_poll=lambda __: (pipeline_monitor.tick(clock.now())
-                                    if pipeline_monitor is not None
-                                    else None))
+            mover.run_until_sealed(CHAOS_CATEGORY, on_poll=on_tail_poll)
         else:
             for h in range(hours):
                 hour_start = h * HOUR_MS
@@ -374,6 +415,8 @@ def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
         report.late_reopens = mover.late_reopens()
         _check_streaming(report, mover, faults=faults,
                          quiet_hours=quiet)
+        _check_incremental(report, deployment, mover, incremental,
+                           faults=faults, quiet_hours=quiet)
     return report
 
 
@@ -436,36 +479,71 @@ def _move_with_restarts(mover: LogMover, hour) -> int:
                        f"{MAX_MOVE_RESTARTS} restarts")
 
 
+def _chaos_event(counter: int, user_id: int, session_id: str,
+                 timestamp: int) -> bytes:
+    """One unique encoded ClientEvent of streaming-soak traffic.
+
+    ``event_details`` carries the global counter so every payload's
+    bytes are distinct -- the conservation audit compares payload sets.
+    """
+    event = ClientEvent.make(
+        CHAOS_EVENT_NAMES[counter % len(CHAOS_EVENT_NAMES)],
+        user_id=user_id, session_id=session_id,
+        ip=f"10.0.{user_id}.1", timestamp=timestamp,
+        details={"n": str(counter)},
+        country=CHAOS_COUNTRIES[counter % len(CHAOS_COUNTRIES)],
+        logged_in=bool(counter % 2))
+    return event.to_bytes()
+
+
 def _stream_traffic(report: ChaosReport, deployment: ScribeDeployment,
                     mover: StreamingMover,
                     pipeline_monitor: Optional[PipelineMonitor],
                     clock, hours: int, quiet: Set[int],
-                    sent_payloads: List[bytes], faults: bool) -> None:
+                    sent_payloads: List[bytes], faults: bool,
+                    incremental=None) -> None:
     """Drive the streaming soak: traffic, faults, and per-slice polls.
 
     Same traffic shape as the hourly soak (12 slices per hour), but the
-    mover is polled after every slice instead of at hour boundaries.
+    mover is polled after every slice instead of at hour boundaries, and
+    the payloads are encoded :class:`ClientEvent`\\ s: one user per
+    daemon, whose session id rotates every :data:`SESSION_SLICES` slices
+    so the incremental sessionizer continuously closes sessions mid-run.
+    Every successful poll feeds ``incremental`` (when given).
+
     On faulted multi-hour runs the held-datacenter scenario is armed:
     every aggregator in ``STREAM_HELD_DC`` is crashed right after the
     last hour-0 slice reached them -- their durable write-ahead buffers
     keep that slice -- and stays down until hour 1's
     ``STREAM_HOLD_RESTART_SLICE``, well past the hour-0 seal, so the
-    replay re-opens a sealed hour as genuinely late data.
+    replay re-opens a sealed hour as genuinely late data *and* extends
+    an already-closed session (the replayed slice lies within
+    :data:`CHAOS_SESSION_GAP_MS` of its session's last on-time event),
+    forcing an incremental session re-open plus a rollup correction.
     """
     held: Set[str] = set()
     hold_armed = faults and hours >= 2 and 0 not in quiet
     counter = 0
+    user_ids = {daemon.host: index + 1
+                for index, daemon in enumerate(
+                    d for dc in deployment.datacenters.values()
+                    for d in dc.daemons)}
     for h in range(hours):
         hour_start = h * HOUR_MS
         for s in range(SLICES_PER_HOUR):
             target = hour_start + 2 * MINUTE_MS + s * 4 * MINUTE_MS
             if clock.now() < target:
                 clock.advance(target - clock.now())
+            block = (h * SLICES_PER_HOUR + s) // SESSION_SLICES
             if h not in quiet:
                 for dc in deployment.datacenters.values():
                     for daemon in dc.daemons:
+                        user_id = user_ids[daemon.host]
+                        session_id = f"{daemon.host}-b{block:03d}"
                         for _ in range(ENTRIES_PER_SLICE):
-                            payload = f"m{counter:06d}".encode()
+                            payload = _chaos_event(
+                                counter, user_id, session_id,
+                                timestamp=clock.now())
                             counter += 1
                             sent_payloads.append(payload)
                             daemon.log(LogEntry(CHAOS_CATEGORY, payload))
@@ -474,7 +552,10 @@ def _stream_traffic(report: ChaosReport, deployment: ScribeDeployment,
             if held and h >= 1 and s >= STREAM_HOLD_RESTART_SLICE:
                 held = set()  # operators finally notice; WALs replay
             _stream_drain(deployment, held)
-            report.mover_restarts += _poll_with_restarts(mover)
+            restarts, poll = _poll_with_restarts(mover)
+            report.mover_restarts += restarts
+            if incremental is not None:
+                incremental.observe_poll(poll)
             if pipeline_monitor is not None:
                 pipeline_monitor.tick(clock.now())
 
@@ -520,16 +601,18 @@ def _stream_drain(deployment: ScribeDeployment, held: Set[str]) -> None:
 
 
 def _poll_with_restarts(mover: StreamingMover,
-                        category: str = CHAOS_CATEGORY) -> int:
+                        category: str = CHAOS_CATEGORY):
     """Poll the streaming mover once, restarting through injected
-    crashes. ``force=True`` because a crashed attempt already consumed
-    the batch interval; its restart must be allowed to land immediately.
+    crashes; returns ``(restarts, poll_result)``. ``force=True``
+    because a crashed attempt already consumed the batch interval; its
+    restart must be allowed to land immediately. Only the *successful*
+    poll's result is returned, so downstream consumers (the incremental
+    sessionizer/rollup) observe committed seals only.
     """
     restarts = 0
     for _ in range(MAX_MOVE_RESTARTS):
         try:
-            mover.poll(category, force=True)
-            return restarts
+            return restarts, mover.poll(category, force=True)
         except InjectedCrash:
             restarts += 1
     raise RuntimeError(f"streaming mover failed to converge after "
@@ -719,6 +802,101 @@ def _check_streaming(report: ChaosReport, mover: StreamingMover,
                 report.violations.append(
                     f"completeness alert never resolved after the late "
                     f"data landed (fired at {episode.fired_at_ms}ms)")
+
+
+def _check_incremental(report: ChaosReport, deployment: ScribeDeployment,
+                       mover: StreamingMover, incremental,
+                       faults: bool, quiet_hours: Set[int]) -> None:
+    """The batch-vs-incremental parity audit (streaming soaks only).
+
+    After a final ``finish()`` (every open session closes), the
+    seal-driven incremental consumer must agree with a from-scratch
+    daily batch rebuild over the warehouse's final contents:
+
+    * the closed-session multiset equals the batch
+      :class:`Sessionizer`'s output over *all* landed events (same gap),
+      and each closed session was attributed to exactly one day;
+    * each day's materialized ``level-*.json`` files are byte-identical
+      to a :class:`RollupJob` rebuild of that day into a scratch root.
+
+    On faulted multi-hour runs the held-datacenter replay must also
+    have exercised the correction machinery: at least one session
+    re-open and one rollup correction delta.
+    """
+    from repro.oink.rollups import ROLLUPS_ROOT, RollupJob, rollup_day_dir
+
+    incremental.finish()
+    sessionizer = incremental.sessionizer
+    report.sessions_closed = sessionizer.closed_total
+    report.sessions_reopened = sessionizer.reopened_total
+    report.rollup_days = len(incremental.rollup.days())
+    report.rollup_corrections = incremental.rollup.corrections
+
+    # -- session parity ---------------------------------------------------
+    warehouse = deployment.warehouse
+    all_events: List[ClientEvent] = []
+    root = f"{LOGS_ROOT}/{CHAOS_CATEGORY}"
+    if warehouse.is_dir(root):
+        for path in sorted(warehouse.glob_files(root)):
+            for payload in decode_messages(warehouse.open_bytes(path)):
+                all_events.append(ClientEvent.from_bytes(payload))
+    batch = Sessionizer(sessionizer.inactivity_gap_ms)
+
+    def signature(user_id, session_id, events):
+        return (user_id, session_id,
+                tuple(event.to_bytes() for event in events))
+
+    batch_sigs = sorted(signature(s.user_id, s.session_id, s.events)
+                        for s in batch.sessionize(all_events))
+    closed = sessionizer.closed_sessions()
+    incr_sigs = sorted(signature(*c.key, c.session.events)
+                       for c in closed)
+    if batch_sigs != incr_sigs:
+        only_batch = len(set(batch_sigs) - set(incr_sigs))
+        only_incr = len(set(incr_sigs) - set(batch_sigs))
+        report.violations.append(
+            f"session parity broken: batch rebuild found "
+            f"{len(batch_sigs)} session(s), incremental closed "
+            f"{len(incr_sigs)} ({only_batch} batch-only, "
+            f"{only_incr} incremental-only)")
+    by_day_total = sum(len(rows) for rows
+                       in sessionizer.closed_by_day().values())
+    if by_day_total != len(closed):
+        report.violations.append(
+            f"session day attribution broken: {len(closed)} closed "
+            f"session(s) attributed {by_day_total} time(s) across days")
+
+    # -- rollup parity ----------------------------------------------------
+    days = sorted({(h.year, h.month, h.day)
+                   for h in mover.hours_sealed()})
+    if days != incremental.rollup.days():
+        report.violations.append(
+            f"rollup coverage broken: sealed days {days}, "
+            f"incremental materialized {incremental.rollup.days()}")
+    rebuild_root = "/rollups_rebuild"
+    rebuild_job = RollupJob(warehouse, category=CHAOS_CATEGORY,
+                            root=rebuild_root)
+    for day in days:
+        rebuild_job.run(*day)
+        live_dir = rollup_day_dir(*day, root=ROLLUPS_ROOT)
+        rebuilt_dir = rollup_day_dir(*day, root=rebuild_root)
+        for path in sorted(warehouse.glob_files(rebuilt_dir)):
+            live_path = path.replace(rebuilt_dir, live_dir, 1)
+            if (not warehouse.exists(live_path)
+                    or warehouse.open_bytes(live_path)
+                    != warehouse.open_bytes(path)):
+                report.violations.append(
+                    f"rollup parity broken: {live_path} differs from "
+                    f"batch rebuild")
+
+    # -- correction-machinery coverage ------------------------------------
+    if faults and report.hours >= 2 and 0 not in quiet_hours:
+        if report.sessions_reopened < 1:
+            report.violations.append(
+                "late replay never re-opened a closed session")
+        if report.rollup_corrections < 1:
+            report.violations.append(
+                "late re-seal never applied a rollup correction delta")
 
 
 def _check_coverage(report: ChaosReport, plan: FaultPlan) -> None:

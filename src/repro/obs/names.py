@@ -96,6 +96,14 @@ COLUMNAR_SEGMENTS_BUILT = "columnar_segments_built_total"
 OINK_JOB_RUNS = "oink_job_runs_total"
 OINK_JOB_DURATION = "oink_job_duration_ms"
 
+# -- incremental sessionization + rollups (repro.oink.incremental) --------
+INCREMENTAL_SESSIONS_OPEN = "incremental_sessions_open_total"
+INCREMENTAL_SESSIONS_CLOSED = "incremental_sessions_closed_total"
+INCREMENTAL_SESSIONS_REOPENED = "incremental_sessions_reopened_total"
+INCREMENTAL_OPEN_SESSIONS = "incremental_open_sessions"
+ROLLUP_DELTAS_APPLIED = "rollup_deltas_applied_total"
+ROLLUP_CORRECTION_LAG = "rollup_correction_lag_ms"
+
 # -- span names (pipeline hops, in order) --------------------------------
 SPAN_DAEMON_ENQUEUE = "daemon.enqueue"
 SPAN_DAEMON_RESEND = "daemon.resend"

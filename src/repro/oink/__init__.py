@@ -15,9 +15,20 @@ from repro.oink.pipelines import (
 from repro.oink.rollups import (
     ROLLUP_LEVELS,
     ROLLUPS_ROOT,
+    MissingRollupError,
     RollupJob,
     RollupResult,
+    load_rollups,
+    materialize_rollups,
     rollup_keys,
+    rollup_tables,
+)
+from repro.oink.incremental import (
+    ClosedSession,
+    IncrementalPipeline,
+    IncrementalRollup,
+    IncrementalSessionizer,
+    RollupDelta,
 )
 
 __all__ = [
@@ -32,7 +43,16 @@ __all__ = [
     "register_standard_pipeline",
     "ROLLUP_LEVELS",
     "ROLLUPS_ROOT",
+    "MissingRollupError",
     "RollupJob",
     "RollupResult",
+    "load_rollups",
+    "materialize_rollups",
     "rollup_keys",
+    "rollup_tables",
+    "ClosedSession",
+    "IncrementalPipeline",
+    "IncrementalRollup",
+    "IncrementalSessionizer",
+    "RollupDelta",
 ]

@@ -31,7 +31,8 @@ from repro.hdfs.layout import EPOCH, LogHour, hour_for_millis
 from repro.logmover.mover import LogMover
 from repro.logmover.streaming import PollResult, StreamingMover
 from repro.obs.monitor import HourAudit, PipelineMonitor
-from repro.oink.rollups import RollupJob, RollupResult
+from repro.oink.incremental import IncrementalPipeline
+from repro.oink.rollups import ROLLUPS_ROOT, RollupJob, RollupResult
 from repro.oink.scheduler import Oink
 
 Date = Tuple[int, int, int]
@@ -55,6 +56,10 @@ class PipelineState:
     audits: List[HourAudit] = field(default_factory=list)
     #: Streaming pipelines only: every ``log_mover`` poll's result.
     polls: List[PollResult] = field(default_factory=list)
+    #: Streaming pipelines only: the seal-driven incremental
+    #: sessionizer + rollup consumer replacing the daily ``rollups``
+    #: job (:class:`repro.oink.incremental.IncrementalPipeline`).
+    incremental: Optional[IncrementalPipeline] = None
 
     def hours_moved_for_day(self, date: Date) -> int:
         """How many of a day's hours the mover has published."""
@@ -84,6 +89,12 @@ def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
     :class:`StreamingMover` (the job runs at the mover's micro-batch
     cadence, polling for due batches; hours reach ``state.moved_hours``
     when their seal commits, so the daily gates fire exactly as before).
+    With a streaming mover the daily ``rollups`` job is *replaced* by
+    ``state.incremental``: every sealed (or late-re-sealed) hour folds
+    its delta into the day's materialized rollup tables inside the poll,
+    and sessions close continuously as the watermark passes their
+    inactivity horizon -- ``state.rollups`` then updates at seal cadence
+    rather than once per day.
 
     ``build_indexes`` adds a daily ``index_build`` job that incrementally
     (re)builds the day's Elephant Twin partitions once the mover has
@@ -163,6 +174,10 @@ def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
         result = mover.poll(category)
         state.polls.append(result)
         state.moved_hours.extend(result.sealed)
+        if state.incremental is not None:
+            for delta in state.incremental.observe_poll(result):
+                state.rollups[delta.date] = \
+                    state.incremental.rollup.result_for_day(delta.date)
 
     def quality_audit(period_start: int) -> None:
         # Tick at the hour's close so the period being audited counts
@@ -170,12 +185,21 @@ def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
         ctx = monitor.tick(period_start + MILLIS_PER_HOUR)
         state.audits = ctx.audits
 
-    if isinstance(mover, StreamingMover):
+    streaming = isinstance(mover, StreamingMover)
+    if streaming:
         # Streaming: the mover job runs at the micro-batch cadence and
         # an hour reaches ``moved_hours`` when its seal commits. The
         # hourly/daily consumers are untouched -- an hourly dependency
         # on ``log_mover`` maps to the minute instance at the hour's
         # start, which is long finished by the time the hour closes.
+        # Rollups turn incremental: every seal (and late re-seal) folds
+        # its delta into the day's materialized tables inside the poll,
+        # so no daily ``rollups`` job is registered at all.
+        state.incremental = IncrementalPipeline(
+            builder.warehouse, category=category,
+            inactivity_gap_ms=builder.inactivity_gap_ms,
+            rollup_root=(rollup_job.root if rollup_job is not None
+                         else ROLLUPS_ROOT))
         oink.schedule("log_mover", poll_stream, mover.batch_interval_ms)
     else:
         oink.hourly("log_mover", move_hour)
@@ -184,8 +208,9 @@ def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
                     depends_on=["log_mover"])
     oink.daily("session_sequences", build_sequences,
                depends_on=["log_mover"], gate=day_has_moved_hours)
-    oink.daily("rollups", build_rollups, depends_on=["log_mover"],
-               gate=day_has_moved_hours)
+    if not streaming:
+        oink.daily("rollups", build_rollups, depends_on=["log_mover"],
+                   gate=day_has_moved_hours)
     oink.daily("catalog", build_catalog,
                depends_on=["session_sequences"])
     if build_indexes:
