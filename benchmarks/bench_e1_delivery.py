@@ -47,7 +47,7 @@ def _run_deployment(fault: str, durable: bool = False):
                 datacenters[0].staging.set_available(True)
         datacenter = datacenters[i % 2]
         datacenter.log_from(i, LogEntry(CLIENT_EVENTS_CATEGORY,
-                                        b"message-%06d" % i))
+                                        b"message-%06d" % i), wrap=True)
         deployment.clock.advance(MILLIS_PER_HOUR // (NUM_MESSAGES // 4))
     deployment.flush_all()
 

@@ -66,9 +66,10 @@ def main() -> None:
             east.restart_aggregator(victim)
             restarted = True
         datacenter = east if event.user_id % 2 else west
-        datacenter.log_from(event.user_id,
-                            LogEntry(CLIENT_EVENTS_CATEGORY,
-                                     event.to_bytes()))
+        datacenter.log_from(
+            event.user_id,
+            LogEntry(CLIENT_EVENTS_CATEGORY, event.to_bytes()),
+            wrap=True)
     if not restarted:
         east.restart_aggregator(victim)
     deployment.flush_all()

@@ -151,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "of hourly moves: arms mid-batch and mid-"
                             "seal crashes plus a held-datacenter replay, "
                             "and asserts sealing and the late re-open")
+    chaos.add_argument("--partition", action="store_true",
+                       help="sharded-warehouse overload soak: a "
+                            "datacenter partition (known-down cool-"
+                            "down), a staging outage driving aggregator "
+                            "backpressure and bulk-tier QoS shedding, "
+                            "and a warehouse shard loss spanning an "
+                            "hour boundary")
 
     mover = sub.add_parser(
         "mover", help="drive the staging-to-warehouse landing pipeline "
@@ -375,10 +382,18 @@ def cmd_chaos(args) -> int:
     A fresh registry isolates the run's metrics (faults injected, retry
     attempts, duplicates skipped) from anything else in the process.
     """
-    from repro.faults.chaos import run_chaos
+    from repro.faults.chaos import run_chaos, run_partition_chaos
     from repro.obs import MetricsRegistry, set_default_registry
 
     set_default_registry(MetricsRegistry())
+    if args.partition:
+        if args.monitor or args.streaming or args.no_faults:
+            print("--partition cannot be combined with --monitor, "
+                  "--streaming, or --no-faults")
+            return 2
+        report = run_partition_chaos(args.seed, hours=args.hours)
+        print(report.summary())
+        return 0 if report.ok else 1
     report = run_chaos(args.seed, hours=args.hours, monitor=args.monitor,
                        faults=not args.no_faults,
                        streaming=args.streaming)

@@ -15,12 +15,25 @@ readable in the warehouse, and the mover's committed ``(origin, seq)``
 ledger checked against every daemon's issued sequence range. Identical
 seeds give identical storms, so a failing run is a replayable bug
 report.
+
+``repro chaos --partition`` runs the overload-survival variant over a
+*sharded* warehouse: three categories at different QoS tiers land
+through a :class:`~repro.logmover.sharded.ShardedLogMover` while the
+storm partitions one datacenter's daemons from their aggregators
+(exercising the known-down cool-down), takes out the other datacenter's
+staging cluster long enough to drive aggregator backpressure and
+bulk-tier QoS shedding, and kills a single warehouse *shard* across an
+hour boundary so that shard's move defers to the final sweep while the
+other shards' hours land on time. The audit generalizes per category:
+payload conservation must balance against each category's recorded
+drops, the sequence ledger must equal issued identities minus dropped
+ones, and critical-tier traffic must land complete.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.faults.injector import (
     KIND_ACK_LOST,
@@ -36,9 +49,10 @@ from repro.faults.injector import (
 )
 from repro.core.event import ClientEvent
 from repro.core.sessionizer import Sessionizer
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import RetryExhaustedError, RetryPolicy
 from repro.hdfs.layout import LOGS_ROOT, hour_for_millis
 from repro.logmover.mover import LogMover
+from repro.logmover.sharded import ShardedLogMover
 from repro.logmover.streaming import StreamingMover
 from repro.obs import names as obs_names
 from repro.obs.metrics import get_default_registry
@@ -51,6 +65,7 @@ from repro.obs.monitor import (
 from repro.scribe.aggregator import decode_messages
 from repro.scribe.cluster import ScribeDeployment
 from repro.scribe.message import CategoryConfig, LogEntry, decode_envelope
+from repro.scribe.qos import QOS_BULK, QOS_CRITICAL, QOS_STANDARD
 
 #: The category the soak logs under.
 CHAOS_CATEGORY = "chaos_events"
@@ -91,6 +106,23 @@ CHAOS_EVENT_NAMES = (
 )
 CHAOS_COUNTRIES = ("us", "jp", "de")
 
+#: Partition soak: warehouse shard count, and the traffic mix as
+#: (category, QoS tier, entries per daemon per slice). The three
+#: categories hash to three *distinct* shards of the four, so losing the
+#: bulk category's shard cannot touch the other categories' hours.
+PARTITION_SHARDS = 4
+PARTITION_CATEGORIES = (
+    ("chaos_revenue", QOS_CRITICAL, 1),
+    (CHAOS_CATEGORY, QOS_STANDARD, 2),
+    ("chaos_ads", QOS_BULK, 4),
+)
+#: The category whose warehouse shard the partition storm takes down.
+PARTITION_SHARD_LOSS_CATEGORY = "chaos_ads"
+#: Small bulk staging files, so the 20-minute staging outage stacks
+#: enough disk-buffered rolls to cross the aggregators' backpressure
+#: threshold (two buffered files) while the outage is still on.
+PARTITION_BULK_FILE_RECORDS = 10
+
 
 @dataclass
 class ChaosReport:
@@ -121,6 +153,14 @@ class ChaosReport:
     sessions_reopened: int = 0
     rollup_days: int = 0
     rollup_corrections: int = 0
+    #: Partition-soak accounting (zero elsewhere): warehouse shard count,
+    #: boundary moves deferred by a shard loss, aggregator backpressure
+    #: episodes, and entries shed by QoS sampling.
+    partition: bool = False
+    shards: int = 0
+    moves_deferred: int = 0
+    backpressure_engaged: int = 0
+    qos_sampled: int = 0
     hour_verdicts: Dict[str, str] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
     #: The live monitor when the soak ran with ``monitor=True`` (not
@@ -134,8 +174,10 @@ class ChaosReport:
 
     def summary(self) -> str:
         """A one-screen human-readable account of the run."""
+        variant = (" (streaming)" if self.streaming
+                   else " (partition)" if self.partition else "")
         lines = [
-            f"chaos soak{' (streaming)' if self.streaming else ''}: "
+            f"chaos soak{variant}: "
             f"seed={self.seed} hours={self.hours} "
             f"{'PASS' if self.ok else 'FAIL'}",
             f"  accepted={self.accepted} landed={self.landed} "
@@ -145,6 +187,12 @@ class ChaosReport:
             f"duplicates_skipped={self.duplicates_skipped} "
             f"mover_restarts={self.mover_restarts}",
         ]
+        if self.partition:
+            lines.append(
+                f"  shards={self.shards} "
+                f"moves_deferred={self.moves_deferred} "
+                f"backpressure_engaged={self.backpressure_engaged} "
+                f"qos_sampled={self.qos_sampled}")
         if self.streaming:
             lines.append(
                 f"  batches_landed={self.batches_landed} "
@@ -250,6 +298,159 @@ def streaming_chaos_plan(seed: int, hours: int) -> FaultPlan:
                  end_ms=start + 44 * MINUTE_MS, probability=0.02,
                  max_fires=2)
     return plan
+
+
+def partition_chaos_plan(seed: int, hours: int, shard: int) -> FaultPlan:
+    """The storm for the sharded-warehouse overload soak.
+
+    Three deterministic acceptance windows in hour 0: a full network
+    partition of the east daemons from their aggregators (every send
+    lost, minute 10-26 -- the known-down cool-down must bound the retry
+    bill), a west staging-HDFS outage (minute 30-50 -- aggregator rolls
+    stack on the local-disk buffer until backpressure engages and west
+    daemons start shedding sampled bulk traffic), and an outage of one
+    warehouse *shard* spanning the hour-0 boundary (minute 55-70 -- the
+    boundary move of the category living on that shard exhausts its
+    retries and defers to the final sweep while the other shards' hours
+    land on time). Hour 1 adds the crash-coverage faults: both east
+    aggregators crash once (WAL replay on restart) and the mover crashes
+    once mid-publish. Light ack-loss and ZooKeeper-expiry noise rides on
+    top, windowed clear of the backpressure phase.
+    """
+    plan = FaultPlan()
+    # -- hour 0: the three overload windows -----------------------------
+    plan.add("daemon.east-host-*.send", KIND_ERROR,
+             start_ms=10 * MINUTE_MS, end_ms=26 * MINUTE_MS)
+    plan.add("hdfs.staging-west.write", KIND_UNAVAILABLE,
+             start_ms=30 * MINUTE_MS, end_ms=50 * MINUTE_MS)
+    plan.add(f"hdfs.warehouse-shard-{shard}.write", KIND_UNAVAILABLE,
+             start_ms=55 * MINUTE_MS, end_ms=70 * MINUTE_MS)
+    # -- crash coverage (hour 1, after the overload windows) ------------
+    plan.add("aggregator.east-agg-000.receive", KIND_CRASH,
+             start_ms=HOUR_MS + 6 * MINUTE_MS,
+             end_ms=HOUR_MS + 20 * MINUTE_MS, max_fires=1)
+    plan.add("aggregator.east-agg-001.receive", KIND_CRASH,
+             start_ms=HOUR_MS + 6 * MINUTE_MS,
+             end_ms=HOUR_MS + 20 * MINUTE_MS, max_fires=1)
+    plan.add(f"logmover.{CHAOS_CATEGORY}.pre_rename", KIND_CRASH,
+             max_fires=1)
+    # -- probabilistic noise, clear of the backpressure window ----------
+    for h in range(hours):
+        start = h * HOUR_MS
+        plan.add("daemon.west-host-*.send", KIND_ACK_LOST,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 26 * MINUTE_MS, probability=0.04,
+                 max_fires=4)
+        plan.add("zk.session.*", KIND_EXPIRE_SESSION,
+                 start_ms=start + 2 * MINUTE_MS,
+                 end_ms=start + 50 * MINUTE_MS, probability=0.02,
+                 max_fires=2)
+    return plan
+
+
+def run_partition_chaos(seed: int, hours: int = 2) -> ChaosReport:
+    """Run the sharded-warehouse overload soak and return its report.
+
+    Same east/west topology as :func:`run_chaos`, but the warehouse is a
+    :class:`~repro.hdfs.sharded.ShardedHDFS` of
+    :data:`PARTITION_SHARDS` shards behind a
+    :class:`~repro.logmover.sharded.ShardedLogMover`, and every daemon
+    logs all three :data:`PARTITION_CATEGORIES` each slice -- critical,
+    standard, and bulk tiers on three distinct shards. The mover runs
+    its serial backend here: per-shard movers retry with backoff on the
+    shared logical clock, and a deterministic storm needs those clock
+    advances in one thread (the parallel backend is exercised by the
+    sharded-mover tests and the scale-out benchmark).
+
+    On top of :func:`_audit`'s per-category conservation, the report
+    must show the overload machinery actually engaged: backpressure
+    fired, only the bulk tier was sampled, the critical category landed
+    complete, and the shard loss deferred (exactly) the lost shard's
+    boundary move to the final sweep.
+    """
+    if hours < 2:
+        raise ValueError("the partition soak needs at least two hours "
+                         "(the shard outage spans the hour-0 boundary)")
+    report = ChaosReport(seed=seed, hours=hours, partition=True,
+                         shards=PARTITION_SHARDS)
+    policy = RetryPolicy(max_attempts=5, base_delay_ms=100,
+                         max_delay_ms=5_000, seed=seed)
+    deployment = ScribeDeployment(
+        ["east", "west"], num_hosts=3, num_aggregators=2,
+        durable_aggregators=True, seed=seed, retry_policy=policy,
+        warehouse_shards=PARTITION_SHARDS)
+    for category, tier, __ in PARTITION_CATEGORIES:
+        deployment.categories.register(CategoryConfig(
+            category=category, codec="zlib",
+            max_file_records=(PARTITION_BULK_FILE_RECORDS
+                              if tier == QOS_BULK else 50),
+            qos=tier))
+    clock = deployment.clock
+    staging_clusters = {name: dc.staging
+                        for name, dc in deployment.datacenters.items()}
+    mover = ShardedLogMover(staging_clusters, deployment.warehouse,
+                            backend="serial", clock=clock,
+                            retry_policy=policy)
+    shard = deployment.warehouse.shard_index(PARTITION_SHARD_LOSS_CATEGORY)
+    plan = partition_chaos_plan(seed, hours, shard)
+    injector = FaultInjector(plan, clock=clock, seed=seed)
+    previous = get_default_injector()
+    set_default_injector(injector)
+    registry = get_default_registry()
+    sent_payloads: Dict[str, List[bytes]] = {
+        category: [] for category, __, __ in PARTITION_CATEGORIES}
+    counter = 0
+    try:
+        for h in range(hours):
+            hour_start = h * HOUR_MS
+            for s in range(SLICES_PER_HOUR):
+                target = hour_start + 2 * MINUTE_MS + s * 4 * MINUTE_MS
+                if clock.now() < target:
+                    clock.advance(target - clock.now())
+                for dc in deployment.datacenters.values():
+                    for daemon in dc.daemons:
+                        for category, __, per_slice in PARTITION_CATEGORIES:
+                            for _ in range(per_slice):
+                                payload = (f"{category}:"
+                                           f"{counter:06d}").encode()
+                                counter += 1
+                                sent_payloads[category].append(payload)
+                                daemon.log(LogEntry(category, payload))
+                    if s >= 2:
+                        _restart_dead(deployment)
+            boundary = (h + 1) * HOUR_MS
+            if clock.now() < boundary:
+                clock.advance(boundary - clock.now())
+            _drain(deployment)
+            for category, __, __ in PARTITION_CATEGORIES:
+                hour = hour_for_millis(category, hour_start)
+                if mover.hour_has_data(hour):
+                    restarts, deferred = _move_or_defer(mover, hour)
+                    report.mover_restarts += restarts
+                    report.moves_deferred += deferred
+        # Final sweep, fault-free: deferred hours (the lost shard's) and
+        # any backoff spillover land now.
+        injector.disable()
+        _drain(deployment)
+        for h in range(hours + 1):
+            for category, __, __ in PARTITION_CATEGORIES:
+                hour = hour_for_millis(category, h * HOUR_MS)
+                if mover.hour_has_data(hour):
+                    report.mover_restarts += _move_with_restarts(mover,
+                                                                 hour)
+    finally:
+        set_default_injector(previous)
+
+    _audit(report, deployment, mover, plan, sent_payloads, faults=True)
+    report.faults_injected = injector.injected_total
+    report.retry_attempts = int(registry.total(obs_names.RETRY_ATTEMPTS))
+    report.duplicates_skipped = sum(r.duplicates_skipped
+                                    for r in mover.moves)
+    report.backpressure_engaged = int(
+        registry.total(obs_names.BACKPRESSURE_ENGAGED))
+    report.qos_sampled = int(registry.total(obs_names.QOS_SAMPLED))
+    _check_partition(report, deployment, registry, plan)
+    return report
 
 
 def run_chaos(seed: int, hours: int = 2, monitor: bool = False,
@@ -479,6 +680,29 @@ def _move_with_restarts(mover: LogMover, hour) -> int:
                        f"{MAX_MOVE_RESTARTS} restarts")
 
 
+def _move_or_defer(mover: ShardedLogMover, hour) -> Tuple[int, int]:
+    """Move one hour through crashes, or defer it on a shard outage.
+
+    Returns ``(restarts, deferred)``. Injected mover crashes are
+    restarted exactly as in :func:`_move_with_restarts`; a
+    :class:`~repro.faults.retry.RetryExhaustedError` means the hour's
+    warehouse shard stayed down through the whole retry budget -- the
+    operational answer is to leave the hour staged and let a later sweep
+    land it, which is what ``deferred=1`` reports.
+    """
+    restarts = 0
+    for _ in range(MAX_MOVE_RESTARTS):
+        try:
+            mover.move_hour(hour, require_complete=False)
+            return restarts, 0
+        except InjectedCrash:
+            restarts += 1
+        except RetryExhaustedError:
+            return restarts, 1
+    raise RuntimeError(f"mover failed to converge on {hour} after "
+                       f"{MAX_MOVE_RESTARTS} restarts")
+
+
 def _chaos_event(counter: int, user_id: int, session_id: str,
                  timestamp: int) -> bytes:
     """One unique encoded ClientEvent of streaming-soak traffic.
@@ -622,43 +846,65 @@ def _poll_with_restarts(mover: StreamingMover,
 # -- the audit -------------------------------------------------------------
 def _audit(report: ChaosReport, deployment: ScribeDeployment,
            mover: LogMover, plan: FaultPlan,
-           sent_payloads: List[bytes], faults: bool = True,
+           sent_payloads: Union[List[bytes], Dict[str, List[bytes]]],
+           faults: bool = True,
            quiet_hours: Optional[Set[int]] = None) -> None:
-    """Check conservation, uniqueness, fault and alert coverage."""
+    """Check conservation, uniqueness, fault and alert coverage.
+
+    ``sent_payloads`` is per category (a bare list means everything went
+    through :data:`CHAOS_CATEGORY`). Each category's missing payloads
+    must balance exactly against the drops its daemons recorded for that
+    category -- on a drop-free soak that degenerates to "every accepted
+    payload landed", and on the partition soak it pins the QoS sheds to
+    the categories that were allowed to shed.
+    """
     daemons = [d for dc in deployment.datacenters.values()
                for d in dc.daemons]
     report.accepted = sum(d.stats.accepted for d in daemons)
     report.dropped = sum(d.stats.dropped for d in daemons)
     report.quarantined = sum(r.quarantined_messages for r in mover.moves)
+    if isinstance(sent_payloads, list):
+        sent_payloads = {CHAOS_CATEGORY: sent_payloads}
 
-    # Landed payloads, read back from the warehouse like a consumer would.
+    # Landed payloads, read back from the warehouse like a consumer
+    # would, category by category.
     warehouse = deployment.warehouse
-    landed_payloads: List[bytes] = []
-    root = f"{LOGS_ROOT}/{CHAOS_CATEGORY}"
-    if warehouse.is_dir(root):
-        for path in warehouse.glob_files(root):
-            for frame_bytes in decode_messages(warehouse.open_bytes(path)):
-                origin, __, payload = decode_envelope(frame_bytes)
-                if origin is not None:
-                    report.violations.append(
-                        f"unstripped envelope in warehouse file {path}")
-                landed_payloads.append(payload)
-    report.landed = len(landed_payloads)
+    report.landed = 0
+    for category in sorted(sent_payloads):
+        landed_payloads: List[bytes] = []
+        root = f"{LOGS_ROOT}/{category}"
+        if warehouse.is_dir(root):
+            for path in warehouse.glob_files(root):
+                for frame_bytes in decode_messages(
+                        warehouse.open_bytes(path)):
+                    origin, __, payload = decode_envelope(frame_bytes)
+                    if origin is not None:
+                        report.violations.append(
+                            f"unstripped envelope in warehouse file {path}")
+                    landed_payloads.append(payload)
+        report.landed += len(landed_payloads)
 
-    if len(set(landed_payloads)) != len(landed_payloads):
-        dupes = len(landed_payloads) - len(set(landed_payloads))
-        report.violations.append(
-            f"{dupes} duplicate payload(s) in the warehouse")
-    expected = set(sent_payloads)
-    missing = expected - set(landed_payloads)
-    extra = set(landed_payloads) - expected
-    if missing:
-        report.violations.append(
-            f"{len(missing)} accepted payload(s) never landed "
-            f"(e.g. {sorted(missing)[:3]})")
-    if extra:
-        report.violations.append(
-            f"{len(extra)} unexpected payload(s) landed")
+        if len(set(landed_payloads)) != len(landed_payloads):
+            dupes = len(landed_payloads) - len(set(landed_payloads))
+            report.violations.append(
+                f"{dupes} duplicate {category} payload(s) in the "
+                f"warehouse")
+        expected = set(sent_payloads[category])
+        missing = expected - set(landed_payloads)
+        extra = set(landed_payloads) - expected
+        dropped_here = sum(
+            counts.dropped
+            for daemon in daemons
+            for (cat, __), counts in daemon.hour_ledger().items()
+            if cat == category)
+        if len(missing) != dropped_here:
+            report.violations.append(
+                f"{len(missing)} accepted {category} payload(s) never "
+                f"landed but its daemons recorded {dropped_here} "
+                f"drop(s) (e.g. {sorted(missing)[:3]})")
+        if extra:
+            report.violations.append(
+                f"{len(extra)} unexpected {category} payload(s) landed")
     if report.accepted != (report.landed + report.dropped +
                            report.quarantined):
         report.violations.append(
@@ -667,16 +913,22 @@ def _audit(report: ChaosReport, deployment: ScribeDeployment,
             f"quarantined={report.quarantined}")
 
     # Sequence audit: the mover's committed ledger must cover exactly the
-    # sequence ranges the daemons issued.
+    # sequence ranges the daemons issued, minus the identities the
+    # daemons themselves dropped (QoS sheds, drop-oldest evictions) --
+    # an accounted drop must never land, an undropped identity must.
     issued: Set[Tuple[str, int]] = set()
+    dropped_ids: Set[Tuple[str, int]] = set()
     for daemon in daemons:
         issued |= {(daemon.host, s) for s in range(daemon.next_seq)}
+        dropped_ids |= daemon.dropped_identities()
     ledger = set(mover.landed_identities())
-    if ledger != issued:
+    expected_ledger = issued - dropped_ids
+    if ledger != expected_ledger:
         report.violations.append(
-            f"sequence ledger mismatch: {len(issued - ledger)} issued "
-            f"identities unledgered, {len(ledger - issued)} ledgered "
-            f"identities never issued")
+            f"sequence ledger mismatch: "
+            f"{len(expected_ledger - ledger)} issued undropped "
+            f"identities unledgered, {len(ledger - expected_ledger)} "
+            f"ledgered identities dropped or never issued")
 
     # Coverage: the acceptance faults must actually have fired.
     if faults:
@@ -897,6 +1149,64 @@ def _check_incremental(report: ChaosReport, deployment: ScribeDeployment,
         if report.rollup_corrections < 1:
             report.violations.append(
                 "late re-seal never applied a rollup correction delta")
+
+
+def _check_partition(report: ChaosReport, deployment: ScribeDeployment,
+                     registry, plan: FaultPlan) -> None:
+    """Partition-soak acceptance: the overload machinery must engage.
+
+    Conservation alone would hold trivially if the storm never bit; this
+    check pins the scenario. The east partition must have fired (the
+    cool-down's trigger), a staging outage must have pushed at least one
+    aggregator into backpressure and daemons must have honored it, QoS
+    sampling must have shed bulk traffic and *only* bulk traffic, the
+    critical category must land complete, and the warehouse shard loss
+    must have fired and deferred exactly the lost shard's boundary move.
+    """
+    def fired(site_prefix: str) -> bool:
+        return any(rule.fires for rule in plan.rules
+                   if rule.site.startswith(site_prefix))
+
+    if not fired("daemon.east-host-"):
+        report.violations.append(
+            "partition coverage gap: the east daemon partition never "
+            "fired")
+    if not fired("hdfs.warehouse-shard-"):
+        report.violations.append(
+            "partition coverage gap: the warehouse shard outage never "
+            "fired")
+    if report.backpressure_engaged < 1:
+        report.violations.append(
+            "staging outage never pushed an aggregator into backpressure")
+    if registry.total(obs_names.BACKPRESSURE_HONORED) < 1:
+        report.violations.append(
+            "no daemon ever honored a backpressure signal")
+    if report.qos_sampled < 1:
+        report.violations.append(
+            "overload never shed a sampled bulk entry")
+    for labels, metric in registry.series(obs_names.QOS_SAMPLED):
+        if labels.get("tier") != QOS_BULK and metric.value:
+            report.violations.append(
+                f"QoS sampling shed {int(metric.value)} entr(ies) of "
+                f"protected tier {labels.get('tier')!r} "
+                f"(category {labels.get('category')!r})")
+    critical = [category for category, tier, __ in PARTITION_CATEGORIES
+                if tier == QOS_CRITICAL]
+    daemons = [d for dc in deployment.datacenters.values()
+               for d in dc.daemons]
+    for category in critical:
+        dropped = sum(counts.dropped
+                      for daemon in daemons
+                      for (cat, __), counts in daemon.hour_ledger().items()
+                      if cat == category)
+        if dropped:
+            report.violations.append(
+                f"critical category {category} dropped {dropped} "
+                f"entr(ies) under overload")
+    if report.moves_deferred != 1:
+        report.violations.append(
+            f"shard loss should defer exactly the lost shard's boundary "
+            f"move; {report.moves_deferred} move(s) deferred")
 
 
 def _check_coverage(report: ChaosReport, plan: FaultPlan) -> None:

@@ -11,6 +11,7 @@ from repro.hdfs.namenode import (
     HDFSUnavailableError,
     normalize,
 )
+from repro.hdfs.sharded import CrossShardRenameError, ShardedHDFS, shard_key
 from repro.hdfs.layout import (
     LOGS_ROOT,
     SEQUENCES_ROOT,
@@ -37,6 +38,9 @@ __all__ = [
     "HDFSError",
     "HDFSUnavailableError",
     "normalize",
+    "CrossShardRenameError",
+    "ShardedHDFS",
+    "shard_key",
     "LOGS_ROOT",
     "SEQUENCES_ROOT",
     "STAGING_ROOT",

@@ -1,0 +1,265 @@
+"""A category-hash sharded warehouse behind a path router.
+
+ROADMAP item 3: one in-memory namenode caps how much warehouse the
+reproduction can model, the same way one real namenode capped Twitter's
+main Hadoop cluster. :class:`ShardedHDFS` splits the namespace over N
+independent :class:`~repro.hdfs.namenode.HDFS` shards and routes by the
+*category component* of each path, keeping the
+:mod:`repro.hdfs.layout` scheme fully path-compatible: readers, input
+formats, Elephant Twin ``_index/`` trees, and ``_columnar/`` segments
+address the same paths whether the warehouse is one namenode or many.
+
+Routing. Every warehouse root puts the category (or an equally stable
+token) in the second path component -- ``/logs/<category>/...``,
+``/_incoming/<category>/...``, ``/_sequences/<category>`` -- so the
+router hashes ``crc32`` of that component (PYTHONHASHSEED-stable, like
+every other content hash in this repo). Paths of depth <= 1 (``/``,
+``/logs``) span shards: reads fan out and union, directory mutations
+broadcast.
+
+Co-sharding invariant. Atomic rename only works within one namenode, in
+the simulation as in production. Every rename the pipeline performs --
+``/_incoming/<cat>/H`` → ``/logs/<cat>/.../H``, ``_index.tmp`` and
+``_columnar.tmp`` publishes, rollup ``.tmp`` swaps -- keeps the second
+path component fixed, so src and dst always land on the same shard; the
+router enforces this rather than silently copying across shards.
+
+Each shard is a plain ``HDFS`` named ``<name>-shard-<i>``, so the fault
+injector can take a single shard down via the ordinary
+``hdfs.<name>-shard-<i>.write`` site -- the shard-loss scenario of
+``repro chaos --partition``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional
+
+from repro.hdfs.namenode import (
+    DEFAULT_BLOCK_SIZE,
+    HDFS,
+    FileNotFound,
+    FileStatus,
+    HDFSError,
+    normalize,
+)
+
+
+class CrossShardRenameError(HDFSError):
+    """Raised for a rename whose src and dst hash to different shards."""
+
+
+def shard_key(path: str) -> Optional[str]:
+    """The routing token of a path, or None for shard-spanning paths.
+
+    The token is the second component (``/logs/<category>/...`` →
+    ``category``); a depth-1 file (``/marker``) routes by its only
+    component. Depth <= 1 directories (``/``, ``/logs``) have no token:
+    they exist on every shard.
+    """
+    parts = [p for p in normalize(path).split("/") if p]
+    if len(parts) >= 2:
+        return parts[1]
+    return None
+
+
+class ShardedHDFS:
+    """N namenode shards behind one path-compatible routing facade.
+
+    Mirrors the :class:`~repro.hdfs.namenode.HDFS` surface exactly, so
+    aggregators, movers, index builders, and scan paths take it wherever
+    they take an ``HDFS`` today.
+    """
+
+    def __init__(self, num_shards: int,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 name: str = "warehouse") -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.name = name
+        self.block_size = block_size
+        self.shards: List[HDFS] = [
+            HDFS(block_size=block_size, name=f"{name}-shard-{i}")
+            for i in range(num_shards)
+        ]
+
+    # -- routing -------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """How many namenode shards back this router."""
+        return len(self.shards)
+
+    def shard_index(self, key: str) -> int:
+        """Shard number a routing token (e.g. a category) hashes to."""
+        return (zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF) % len(
+            self.shards)
+
+    def shard_for(self, path: str) -> Optional[HDFS]:
+        """The shard owning a path, or None for shard-spanning paths."""
+        key = shard_key(path)
+        if key is None:
+            parts = [p for p in normalize(path).split("/") if p]
+            if parts:  # a depth-1 *file* path routes by its only part
+                return self.shards[self.shard_index(parts[0])]
+            return None
+        return self.shards[self.shard_index(key)]
+
+    def _route(self, path: str) -> HDFS:
+        shard = self.shard_for(path)
+        if shard is None:
+            raise HDFSError(
+                f"path {path!r} spans shards; file operations need a "
+                f"routable path")
+        return shard
+
+    # -- availability --------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """True only while every shard is up."""
+        return all(shard.available for shard in self.shards)
+
+    def set_available(self, available: bool) -> None:
+        """Inject or clear an outage on every shard at once."""
+        for shard in self.shards:
+            shard.set_available(available)
+
+    # -- namespace -------------------------------------------------------
+    def mkdirs(self, path: str) -> None:
+        """Create a directory; shard-spanning paths exist everywhere."""
+        if shard_key(path) is None:
+            for shard in self.shards:
+                shard.mkdirs(path)
+            return
+        self._route(path).mkdirs(path)
+
+    def exists(self, path: str) -> bool:
+        """True if the path names a file or directory (on any shard)."""
+        if shard_key(path) is None:
+            return any(shard.exists(path) for shard in self.shards)
+        return self._route(path).exists(path)
+
+    def is_dir(self, path: str) -> bool:
+        """True if the path names a directory (on any shard)."""
+        if shard_key(path) is None:
+            return any(shard.is_dir(path) for shard in self.shards)
+        return self._route(path).is_dir(path)
+
+    def is_file(self, path: str) -> bool:
+        """True if the path names a file (on its owning shard)."""
+        if shard_key(path) is None:
+            return any(shard.is_file(path) for shard in self.shards)
+        return self._route(path).is_file(path)
+
+    def listdir(self, path: str) -> List[str]:
+        """Children of a directory; shard-spanning listings union."""
+        if shard_key(path) is not None:
+            return self._route(path).listdir(path)
+        children = set()
+        found = False
+        for shard in self.shards:
+            try:
+                children.update(shard.listdir(path))
+            except FileNotFound:
+                continue
+            found = True
+        if not found:
+            raise FileNotFound(f"no such directory: {path}")
+        return sorted(children)
+
+    def glob_files(self, prefix: str) -> List[str]:
+        """Files under a prefix; unions shards for spanning prefixes."""
+        if shard_key(prefix) is not None:
+            return self._route(prefix).glob_files(prefix)
+        out: List[str] = []
+        for shard in self.shards:
+            out.extend(shard.glob_files(prefix))
+        return sorted(out)
+
+    def status(self, path: str) -> FileStatus:
+        """Metadata for a file or directory (FileNotFound if absent)."""
+        if shard_key(path) is not None:
+            return self._route(path).status(path)
+        for shard in self.shards:
+            try:
+                return shard.status(path)
+            except FileNotFound:
+                continue
+        raise FileNotFound(f"no such path: {path}")
+
+    # -- file I/O ----------------------------------------------------------
+    def create(self, path: str, data: bytes, codec: str = "none",
+               overwrite: bool = False) -> FileStatus:
+        """Write a new file on the shard owning its path."""
+        return self._route(path).create(path, data, codec=codec,
+                                        overwrite=overwrite)
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append raw bytes to an uncompressed file on its shard."""
+        self._route(path).append(path, data)
+
+    def open_bytes(self, path: str) -> bytes:
+        """Read and transparently decompress a file from its shard."""
+        return self._route(path).open_bytes(path)
+
+    def stored_bytes(self, path: str) -> int:
+        """On-disk (post-compression) size of a file."""
+        return self._route(path).stored_bytes(path)
+
+    def blocks(self, path: str) -> List[bytes]:
+        """Stored (compressed) blocks of a file, for split planning."""
+        return self._route(path).blocks(path)
+
+    def codec_of(self, path: str) -> str:
+        """The compression codec a file was written with."""
+        return self._route(path).codec_of(path)
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        """Delete a path; shard-spanning directories delete everywhere."""
+        if shard_key(path) is None:
+            went = False
+            for shard in self.shards:
+                went = shard.delete(path, recursive=recursive) or went
+            return went
+        return self._route(path).delete(path, recursive=recursive)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomic rename; src and dst must co-shard (see module doc)."""
+        src_shard = self.shard_for(src)
+        dst_shard = self.shard_for(dst)
+        if src_shard is None or dst_shard is None:
+            raise HDFSError(
+                f"cannot rename shard-spanning path ({src!r} -> {dst!r})")
+        if src_shard is not dst_shard:
+            raise CrossShardRenameError(
+                f"rename {src!r} -> {dst!r} crosses shards "
+                f"({src_shard.name} -> {dst_shard.name}); atomic rename "
+                f"only works within one namenode")
+        src_shard.rename(src, dst)
+
+    # -- aggregate accounting ----------------------------------------------
+    def total_stored_bytes(self, prefix: str = "/") -> int:
+        """Stored bytes under a prefix, summed across shards."""
+        return sum(s.total_stored_bytes(prefix) for s in self.shards)
+
+    def total_block_count(self, prefix: str = "/") -> int:
+        """Block counts under a prefix, summed across shards."""
+        return sum(s.total_block_count(prefix) for s in self.shards)
+
+    def file_count(self, prefix: str = "/") -> int:
+        """Number of files under a prefix, summed across shards."""
+        return sum(s.file_count(prefix) for s in self.shards)
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes ever written, summed across shards."""
+        return sum(s.bytes_written for s in self.shards)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes ever read, summed across shards."""
+        return sum(s.bytes_read for s in self.shards)
+
+    def __repr__(self) -> str:
+        return (f"ShardedHDFS(name={self.name!r}, "
+                f"shards={len(self.shards)}, "
+                f"block_size={self.block_size})")

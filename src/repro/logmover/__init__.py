@@ -14,6 +14,7 @@ from repro.logmover.mover import (
     LogMover,
     MoveResult,
 )
+from repro.logmover.sharded import ShardedLogMover
 from repro.logmover.streaming import (
     BatchResult,
     PollResult,
@@ -21,6 +22,7 @@ from repro.logmover.streaming import (
 )
 
 __all__ = [
+    "ShardedLogMover",
     "BatchResult",
     "PollResult",
     "StreamingMover",

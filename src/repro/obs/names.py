@@ -35,6 +35,17 @@ AGGREGATOR_DISK_BUFFERED = "scribe_aggregator_disk_buffered_messages"
 AGGREGATOR_WAL_REPLAYED = "scribe_aggregator_wal_replayed_total"
 AGGREGATOR_SESSION_EXPIRIES = "scribe_aggregator_session_expiries_total"
 
+# -- overload control (QoS admission, backpressure) ----------------------
+BACKPRESSURE_ENGAGED = "scribe_backpressure_engaged_total"
+BACKPRESSURE_ACTIVE = "scribe_backpressure_active"
+BACKPRESSURE_HONORED = "scribe_backpressure_honored_total"
+QOS_SAMPLED = "qos_sampled_total"
+
+# -- sharded warehouse (repro.hdfs.sharded, repro.logmover.sharded) ------
+SHARD_HOURS_MOVED = "shard_hours_moved_total"
+SHARD_MESSAGES_MOVED = "shard_messages_moved_total"
+SHARD_STORED_BYTES = "shard_stored_bytes"
+
 # -- log mover ----------------------------------------------------------
 MOVER_HOURS_MOVED = "logmover_hours_moved_total"
 MOVER_FILES_MOVED = "logmover_files_moved_total"

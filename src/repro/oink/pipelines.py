@@ -29,6 +29,7 @@ from repro.core.catalog import ClientEventCatalog
 from repro.core.event import CLIENT_EVENTS_CATEGORY
 from repro.hdfs.layout import EPOCH, LogHour, hour_for_millis
 from repro.logmover.mover import LogMover
+from repro.logmover.sharded import ShardedLogMover
 from repro.logmover.streaming import PollResult, StreamingMover
 from repro.obs.monitor import HourAudit, PipelineMonitor
 from repro.oink.incremental import IncrementalPipeline
@@ -74,7 +75,9 @@ def _date_of_period(period_start_ms: int) -> Date:
     return (when.year, when.month, when.day)
 
 
-def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
+def register_standard_pipeline(oink: Oink,
+                               mover: "LogMover | ShardedLogMover | "
+                                      "StreamingMover",
                                builder: SessionSequenceBuilder,
                                rollup_job: Optional[RollupJob] = None,
                                category: str = CLIENT_EVENTS_CATEGORY,
@@ -85,7 +88,11 @@ def register_standard_pipeline(oink: Oink, mover: "LogMover | StreamingMover",
     """Register the mover/build/rollup/catalog jobs on an Oink instance.
 
     ``mover`` may be the hourly :class:`LogMover` (the ``log_mover`` job
-    then runs hourly, moving each just-closed hour) or a
+    then runs hourly, moving each just-closed hour), a
+    :class:`~repro.logmover.sharded.ShardedLogMover` over a sharded
+    warehouse (same hourly cadence; each hour lands on its category's
+    shard and the layout stays path-compatible, so every downstream job
+    here reads it unchanged), or a
     :class:`StreamingMover` (the job runs at the mover's micro-batch
     cadence, polling for due batches; hours reach ``state.moved_hours``
     when their seal commits, so the daily gates fire exactly as before).

@@ -89,7 +89,9 @@ class ScribeAggregator:
                  staging: HDFS, clock: LogicalClock,
                  categories: Optional[CategoryRegistry] = None,
                  durable: bool = False,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 backpressure_disk_files: int = 2,
+                 backpressure_pending: int = 10_000) -> None:
         self.name = name
         self.datacenter = datacenter
         self._zk = zk
@@ -113,6 +115,12 @@ class ScribeAggregator:
             Tuple[str, bytes, str, Tuple[str, ...]]] = []
         self._part_counter = 0
         self._retry_policy = retry_policy
+        # Backpressure thresholds: the aggregator signals pressure on its
+        # acks once staging outages have pushed files onto the local-disk
+        # buffer, or once the pending backlog grows past a bound.
+        self._bp_disk_files = backpressure_disk_files
+        self._bp_pending = backpressure_pending
+        self._bp_active = False
         self.stats = AggregatorStats()
         self.alive = False
 
@@ -170,8 +178,16 @@ class ScribeAggregator:
         self.alive = False
 
     # -- ingest ----------------------------------------------------------
-    def receive(self, entry: LogEntry) -> None:
-        """Accept one log entry from a daemon."""
+    def receive(self, entry: LogEntry) -> bool:
+        """Accept one log entry from a daemon.
+
+        Returns the aggregator's *backpressure* flag -- conceptually a
+        bit on the ack. True asks the sending daemon to stop the
+        send-immediately fast path and buffer locally (shedding sampled
+        tiers) until pressure clears; the entry itself is always
+        accepted. Callers that ignore the return value simply do not
+        participate in admission control.
+        """
         if not self.alive:
             raise AggregatorDownError(f"aggregator {self.name} is down")
         rule = fault_point(f"aggregator.{self.name}.receive")
@@ -199,6 +215,7 @@ class ScribeAggregator:
             entry.trace_id, obs_names.SPAN_AGGREGATOR_RECEIVE,
             millis, aggregator=self.name, datacenter=self.datacenter)
         self._bucket(entry.category, wire, entry.trace_id, millis, wal_index)
+        return self._update_backpressure()
 
     def _ensure_registered(self) -> None:
         """Probe the ZooKeeper session; re-register after an expiry.
@@ -265,6 +282,7 @@ class ScribeAggregator:
             return
         self._record_written(path, len(wires), trace_ids)
         self._trim_wal(wal_indices)
+        self._update_backpressure()
 
     def _record_written(self, path: str, num_messages: int,
                         trace_ids: Tuple[str, ...]) -> None:
@@ -338,12 +356,42 @@ class ScribeAggregator:
                 aggregator=self.name,
                 datacenter=self.datacenter).dec(num_messages)
         self._disk_buffer = remaining
+        self._update_backpressure()
         return landed
 
     def _next_part_path(self, hour: LogHour) -> str:
         self._part_counter += 1
         directory = staging_path(self.datacenter, hour)
         return f"{directory}/{self.name}-part-{self._part_counter:05d}"
+
+    # -- backpressure ------------------------------------------------------
+    @property
+    def backpressure(self) -> bool:
+        """True while daemons should back off and buffer locally.
+
+        Pressure engages when staging outages have stacked files on the
+        local-disk buffer or the in-memory backlog passes its bound --
+        the two signs this aggregator is absorbing more than it can
+        drain -- and clears by itself as the buffers empty.
+        """
+        return (len(self._disk_buffer) >= self._bp_disk_files
+                or self.pending_messages >= self._bp_pending)
+
+    def _update_backpressure(self) -> bool:
+        """Refresh the flag's metrics; returns the current flag."""
+        active = self.backpressure
+        if active != self._bp_active:
+            self._bp_active = active
+            registry = get_default_registry()
+            if active:
+                registry.counter(
+                    obs_names.BACKPRESSURE_ENGAGED,
+                    aggregator=self.name, datacenter=self.datacenter).inc()
+            registry.gauge(
+                obs_names.BACKPRESSURE_ACTIVE,
+                aggregator=self.name,
+                datacenter=self.datacenter).set(1 if active else 0)
+        return active
 
     @property
     def disk_buffered_files(self) -> int:

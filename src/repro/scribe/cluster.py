@@ -59,13 +59,30 @@ class Datacenter:
                 resolve=self.aggregators.get,
                 clock=clock,
                 retry_policy=retry_policy,
+                categories=self.categories,
             )
             self.daemons.append(daemon)
 
     # -- traffic ---------------------------------------------------------
-    def log_from(self, host_index: int, entry: LogEntry) -> None:
-        """Log one entry from a specific host's daemon."""
-        self.daemons[host_index % len(self.daemons)].log(entry)
+    def log_from(self, host_index: int, entry: LogEntry,
+                 wrap: bool = False) -> None:
+        """Log one entry from a specific host's daemon.
+
+        ``host_index`` must name a real host; an out-of-range index
+        raises :class:`IndexError` so a miswired workload generator
+        fails loudly instead of silently folding all its traffic onto a
+        few hosts. Generators that deliberately spread an unbounded key
+        space (user ids, event counters) over the hosts pass
+        ``wrap=True`` for the explicit modulo.
+        """
+        if wrap:
+            host_index %= len(self.daemons)
+        elif not 0 <= host_index < len(self.daemons):
+            raise IndexError(
+                f"host_index {host_index} out of range for "
+                f"{len(self.daemons)} host(s) in {self.name!r} "
+                f"(pass wrap=True to spread a key space)")
+        self.daemons[host_index].log(entry)
 
     def flush(self) -> None:
         """Drain daemon buffers, then roll all aggregator buckets."""
@@ -114,14 +131,24 @@ class ScribeDeployment:
                  warehouse_block_size: int = 64 * 1024,
                  durable_aggregators: bool = False,
                  seed: int = 0,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 warehouse_shards: Optional[int] = None) -> None:
         if not datacenter_names:
             raise ValueError("need at least one datacenter")
         self.clock = clock or LogicalClock()
         self.zookeeper = ZooKeeper()
         self.categories = CategoryRegistry()
-        self.warehouse = HDFS(block_size=warehouse_block_size,
-                              name="warehouse")
+        if warehouse_shards is not None:
+            # Category-hash sharded warehouse behind the router: the
+            # layout stays path-compatible, so movers/readers are wired
+            # exactly as against a single namenode.
+            from repro.hdfs.sharded import ShardedHDFS
+            self.warehouse: HDFS = ShardedHDFS(
+                num_shards=warehouse_shards,
+                block_size=warehouse_block_size, name="warehouse")
+        else:
+            self.warehouse = HDFS(block_size=warehouse_block_size,
+                                  name="warehouse")
         self.datacenters: Dict[str, Datacenter] = {}
         for i, name in enumerate(datacenter_names):
             self.datacenters[name] = Datacenter(

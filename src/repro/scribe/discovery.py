@@ -49,9 +49,15 @@ class AggregatorDiscovery:
         self._rng = random.Random(seed)
         self._cache: Optional[List[str]] = None
         self.zk_reads = 0  # observability for tests/benchmarks
+        #: Bumped every time the child watch fires (a registration or
+        #: crash changed the aggregator set). Daemons in a known-down
+        #: cool-down compare generations to learn that new information
+        #: arrived and retries are worth attempting again immediately.
+        self.generation = 0
 
     def _invalidate(self, kind: str, path: str) -> None:
         self._cache = None
+        self.generation += 1
 
     def live_aggregators(self) -> List[str]:
         """Names of currently-registered aggregators (may be empty)."""

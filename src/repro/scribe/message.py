@@ -79,16 +79,40 @@ class CategoryConfig:
     ``codec`` controls the compression aggregators apply when writing the
     merged stream to staging HDFS; ``max_file_records`` bounds how many
     entries an aggregator accumulates before rolling a staging file.
+
+    ``qos`` is the category's service tier (see :mod:`repro.scribe.qos`):
+    under overload, daemons shed ``bulk`` traffic by deterministic
+    sampling before buffering and evict lower tiers first from a full
+    buffer, while ``critical`` categories are never sampled and evicted
+    last. ``overload_sample_rate`` overrides the tier's default admitted
+    fraction (None keeps the tier default).
     """
 
     category: str
     codec: str = "zlib"
     max_file_records: int = 10_000
+    qos: str = "standard"
+    overload_sample_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
+        from repro.scribe.qos import validate_tier
+
         validate_category(self.category)
         if self.max_file_records <= 0:
             raise ValueError("max_file_records must be positive")
+        validate_tier(self.qos)
+        if self.overload_sample_rate is not None and not (
+                0.0 <= self.overload_sample_rate <= 1.0):
+            raise ValueError("overload_sample_rate must be in [0, 1]")
+
+    @property
+    def sample_rate(self) -> float:
+        """Admitted fraction while overload shedding is active."""
+        from repro.scribe.qos import sample_rate
+
+        if self.overload_sample_rate is not None:
+            return self.overload_sample_rate
+        return sample_rate(self.qos)
 
 
 class CategoryRegistry:

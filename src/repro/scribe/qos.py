@@ -1,0 +1,87 @@
+"""Per-category QoS classes and deterministic overload sampling.
+
+The paper ties "configuration metadata" to each Scribe category (§2);
+Loginson-style admission control extends that metadata with a *quality
+of service* tier so the pipeline degrades deliberately under overload
+instead of arbitrarily. Three tiers:
+
+- ``critical`` -- billing/audit-grade categories. Never sampled, and
+  evicted last under drop-oldest pressure.
+- ``standard`` -- ordinary product logs (the default). Never sampled,
+  evicted after bulk traffic.
+- ``bulk`` -- firehose-style diagnostics. Under overload, daemons admit
+  only a deterministic sample and shed the rest *before* buffering;
+  bulk entries are also the first evicted from a full buffer.
+
+Sampling must be reproducible: the same (category, origin, seq) makes
+the same keep/shed decision on every host, every process, and every
+``PYTHONHASHSEED`` -- so the decision hashes content with ``crc32``,
+never Python's salted ``hash()``. A shed entry is still *accepted*
+(its sequence number is issued and its hour ledger records the drop),
+which is what keeps the chaos conservation audit exact:
+``accepted == landed + dropped + quarantined`` with QoS drops counted
+per tier.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: The three service tiers, in drop-priority order (shed first → last).
+QOS_BULK = "bulk"
+QOS_STANDARD = "standard"
+QOS_CRITICAL = "critical"
+
+QOS_TIERS = (QOS_BULK, QOS_STANDARD, QOS_CRITICAL)
+
+#: Fraction of a tier's traffic admitted while overload shedding is
+#: active. Critical and standard traffic is never sampled away; their
+#: protection under sustained overload is eviction order instead.
+OVERLOAD_SAMPLE_RATES = {
+    QOS_CRITICAL: 1.0,
+    QOS_STANDARD: 1.0,
+    QOS_BULK: 0.25,
+}
+
+#: Eviction preference on a full daemon buffer: higher rank is evicted
+#: first. Within a rank the oldest entry goes (drop-oldest), so FIFO
+#: order within each tier is preserved.
+_DROP_RANK = {
+    QOS_CRITICAL: 0,
+    QOS_STANDARD: 1,
+    QOS_BULK: 2,
+}
+
+
+def validate_tier(tier: str) -> str:
+    """Check a tier name; returns it unchanged."""
+    if tier not in QOS_TIERS:
+        raise ValueError(
+            f"unknown QoS tier {tier!r}: expected one of {QOS_TIERS}")
+    return tier
+
+
+def drop_rank(tier: str) -> int:
+    """Eviction priority of a tier (higher = evicted first)."""
+    return _DROP_RANK[tier]
+
+
+def sample_rate(tier: str) -> float:
+    """Fraction of the tier admitted while shedding is active."""
+    return OVERLOAD_SAMPLE_RATES[tier]
+
+
+def admit(category: str, origin: str, seq: int, rate: float) -> bool:
+    """Deterministic keep/shed decision for one entry under overload.
+
+    Content-stable: keyed on ``crc32`` of the entry's delivery identity,
+    uniform over [0, 1), identical across processes and hash seeds. At
+    ``rate=1.0`` everything is admitted; at ``0.0`` nothing is.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    key = f"{category}|{origin}|{seq}".encode("utf-8")
+    bucket = zlib.crc32(key) & 0xFFFFFFFF
+    return bucket < rate * 4294967296.0

@@ -162,9 +162,10 @@ class WarehouseSimulation:
         for event in sorted(workload.events, key=lambda e: e.timestamp):
             deployment.clock.advance_to(event.timestamp)
             datacenter = datacenters[event.user_id % len(datacenters)]
-            datacenter.log_from(event.user_id,
-                                LogEntry(CLIENT_EVENTS_CATEGORY,
-                                         event.to_bytes()))
+            datacenter.log_from(
+                event.user_id,
+                LogEntry(CLIENT_EVENTS_CATEGORY, event.to_bytes()),
+                wrap=True)
         deployment.flush_all()
         mover = LogMover(
             {name: dc.staging

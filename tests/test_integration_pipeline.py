@@ -47,9 +47,10 @@ def pipeline():
                 next(iter(datacenters[0].aggregators)))
             crashed = True
         datacenter = datacenters[event.user_id % 2]
-        datacenter.log_from(event.user_id,
-                            LogEntry(CLIENT_EVENTS_CATEGORY,
-                                     event.to_bytes()))
+        datacenter.log_from(
+            event.user_id,
+            LogEntry(CLIENT_EVENTS_CATEGORY, event.to_bytes()),
+            wrap=True)
     deployment.flush_all()
 
     mover = LogMover(

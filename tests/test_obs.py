@@ -332,7 +332,7 @@ class TestLayerMetrics:
         assert daemon.buffered == 3
         assert daemon.stats.buffered_total == 5
         assert daemon.stats.dropped == 2
-        assert list(entry.message for entry in daemon._buffer) == [
+        assert [entry.message for entry, _key, _rank in daemon._buffer] == [
             b"m2", b"m3", b"m4"]
         assert registry.total(names.DAEMON_BUFFER_DEPTH) == 3
         assert registry.total(names.DAEMON_DROPPED) == 2

@@ -278,9 +278,10 @@ class TestStandardPipeline:
         for event in sorted(workload.events, key=lambda e: e.timestamp):
             clock.advance_to(event.timestamp)
             oink.run_pending()  # hourly movers fire as hours elapse
-            datacenter.log_from(event.user_id,
-                                LogEntry(CLIENT_EVENTS_CATEGORY,
-                                         event.to_bytes()))
+            datacenter.log_from(
+                event.user_id,
+                LogEntry(CLIENT_EVENTS_CATEGORY, event.to_bytes()),
+                wrap=True)
             datacenter.flush()  # keep staging current for the mover
         clock.advance_to(MILLIS_PER_DAY + 2 * MILLIS_PER_HOUR)
         oink.run_pending()

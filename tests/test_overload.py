@@ -1,0 +1,199 @@
+"""Overload-survival tests: known-down cool-down, drop attribution.
+
+The retry-amplification regression suite: a daemon whose aggregator is
+known down must take O(1) wire attempts per ``log`` (zero during the
+cool-down window), recover cleanly when the aggregator returns, and
+attribute buffer evictions to the evicted entry's *accept* hour so the
+per-hour ledger stays conservative across hour boundaries.
+"""
+
+import pytest
+
+from repro.clock import MILLIS_PER_HOUR, LogicalClock
+from repro.faults.retry import RetryPolicy
+from repro.hdfs.namenode import HDFS
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.scribe.aggregator import ScribeAggregator
+from repro.scribe.cluster import ScribeDeployment
+from repro.scribe.daemon import ScribeDaemon
+from repro.scribe.discovery import AggregatorDiscovery
+from repro.scribe.message import CategoryRegistry, LogEntry
+from repro.scribe.zookeeper import ZooKeeper
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    old = get_default_registry()
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    yield registry
+    set_default_registry(old)
+
+
+def _rig(policy=None, with_aggregator=True, clock=None):
+    """One daemon + (optionally crashed-out) aggregator on a shared zk."""
+    zk = ZooKeeper()
+    clock = clock or LogicalClock()
+    staging = HDFS(name="staging-dc1")
+    aggregators = {}
+    if with_aggregator:
+        aggregator = ScribeAggregator(
+            name="dc1-agg-000", datacenter="dc1", zk=zk, staging=staging,
+            clock=clock, categories=CategoryRegistry())
+        aggregator.start()
+        aggregators[aggregator.name] = aggregator
+    discovery = AggregatorDiscovery(zk, "dc1", seed=3)
+    daemon = ScribeDaemon("dc1-host-0000", discovery, aggregators.get,
+                          clock=clock, retry_policy=policy)
+    return zk, clock, daemon, aggregators
+
+
+class TestKnownDownCooldown:
+    def test_o1_attempts_while_down(self):
+        """The amplification fix: a down aggregator costs ONE retry
+        budget, after which log() buffers without any wire attempts."""
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=20,
+                             max_delay_ms=200)
+        zk, clock, daemon, aggs = _rig(policy=policy)
+        aggs["dc1-agg-000"].crash()
+
+        daemon.log(LogEntry("web_events", b"first"))
+        budget = daemon.stats.send_attempts
+        assert budget == policy.max_attempts
+        assert daemon.cooling_down
+
+        for i in range(100):
+            daemon.log(LogEntry("web_events", b"more-%d" % i))
+        # O(1): the 100 follow-up logs made ZERO additional attempts.
+        assert daemon.stats.send_attempts == budget
+        assert daemon.buffered == 101
+        assert daemon.stats.accepted == 101
+
+    def test_cooldown_expiry_costs_one_more_budget(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=20,
+                             max_delay_ms=200)
+        zk, clock, daemon, aggs = _rig(policy=policy)
+        aggs["dc1-agg-000"].crash()
+        daemon.log(LogEntry("web_events", b"a"))
+        budget = daemon.stats.send_attempts
+        clock.advance(MILLIS_PER_HOUR)  # way past any cool-down deadline
+        assert not daemon.cooling_down
+        daemon.log(LogEntry("web_events", b"b"))
+        # One more full budget (the flush probe), then cooling again.
+        assert daemon.stats.send_attempts == 2 * budget
+        assert daemon.cooling_down
+
+    def test_recovery_preserves_order_and_delivers_everything(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=20,
+                             max_delay_ms=200)
+        zk, clock, daemon, aggs = _rig(policy=policy)
+        aggregator = aggs["dc1-agg-000"]
+        aggregator.crash()
+        for i in range(10):
+            daemon.log(LogEntry("web_events", b"payload-%02d" % i))
+        assert daemon.cooling_down and daemon.buffered == 10
+
+        seen = []
+        original = aggregator.receive
+
+        def recording_receive(entry):
+            seen.append(entry.seq)
+            return original(entry)
+
+        aggregator.receive = recording_receive
+        # Restart re-registers the ephemeral znode; the discovery
+        # generation bump ends the cool-down without waiting out the
+        # deadline, so the next log replays the backlog immediately.
+        aggregator.start()
+        daemon.log(LogEntry("web_events", b"payload-10"))
+        assert not daemon.cooling_down
+        assert daemon.buffered == 0
+        assert seen == list(range(11))  # strict accept order
+        assert aggregator.stats.received == 11
+
+    def test_generation_bump_clears_cooldown_without_deadline(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_ms=20,
+                             max_delay_ms=200)
+        zk, clock, daemon, aggs = _rig(policy=policy)
+        aggs["dc1-agg-000"].crash()
+        daemon.log(LogEntry("web_events", b"x"))
+        assert daemon.cooling_down
+        # A brand-new aggregator registering is new information: the
+        # cool-down ends even though its deadline is still ahead.
+        late = ScribeAggregator(
+            name="dc1-agg-001", datacenter="dc1", zk=zk,
+            staging=HDFS(name="staging-late"), clock=clock)
+        late.start()
+        aggs[late.name] = late
+        assert not daemon.cooling_down
+        daemon.log(LogEntry("web_events", b"y"))
+        assert daemon.buffered == 0
+        assert late.stats.received == 2
+
+    def test_clockless_daemon_never_cools_down(self):
+        zk, clock, daemon_unused, aggs = _rig(with_aggregator=False)
+        discovery = AggregatorDiscovery(zk, "dc1", seed=5)
+        daemon = ScribeDaemon("dc1-host-0001", discovery, aggs.get)
+        for i in range(5):
+            daemon.log(LogEntry("web_events", b"z"))
+            assert not daemon.cooling_down
+        # Classic behavior preserved: one probe per log, every log.
+        assert daemon.stats.send_attempts == 5
+        assert daemon.buffered == 5
+
+
+class TestAcceptHourDropAttribution:
+    def test_eviction_books_against_accept_hour(self):
+        """An entry accepted in hour H and evicted in hour H+1 must book
+        its drop under H, keeping both hours' ledgers conservative."""
+        zk = ZooKeeper()
+        clock = LogicalClock()
+        discovery = AggregatorDiscovery(zk, "dc1", seed=1)
+        daemon = ScribeDaemon("dc1-host-0000", discovery,
+                              lambda name: None, max_buffer=2, clock=clock)
+        daemon.log(LogEntry("web_events", b"old-0"))
+        daemon.log(LogEntry("web_events", b"old-1"))
+        clock.advance(MILLIS_PER_HOUR)
+        daemon.log(LogEntry("web_events", b"new-0"))
+        daemon.log(LogEntry("web_events", b"new-1"))
+
+        ledger = daemon.hour_ledger()
+        hour0 = ledger[("web_events", 0)]
+        hour1 = ledger[("web_events", 1)]
+        assert hour0.accepted == 2 and hour0.dropped == 2
+        assert hour1.accepted == 2 and hour1.dropped == 0
+        # Ledger conservation across the boundary: accepted splits
+        # exactly into still-expected and dropped, per hour.
+        assert hour0.expected_ids() == set()
+        assert len(hour1.expected_ids()) == 2
+        assert daemon.dropped_identities() == {("dc1-host-0000", 0),
+                                               ("dc1-host-0000", 1)}
+        total_accepted = sum(c.accepted for c in ledger.values())
+        total_dropped = sum(c.dropped for c in ledger.values())
+        assert total_accepted == daemon.stats.accepted == 4
+        assert total_dropped == daemon.stats.dropped == 2
+        assert total_accepted == daemon.buffered + total_dropped
+
+
+class TestLogFromRange:
+    def test_out_of_range_raises(self):
+        deployment = ScribeDeployment(["dc1"], num_hosts=2,
+                                      num_aggregators=1)
+        dc = deployment.datacenters["dc1"]
+        with pytest.raises(IndexError):
+            dc.log_from(2, LogEntry("web_events", b"x"))
+        with pytest.raises(IndexError):
+            dc.log_from(-3, LogEntry("web_events", b"x"))
+
+    def test_wrap_spreads_key_space(self):
+        deployment = ScribeDeployment(["dc1"], num_hosts=2,
+                                      num_aggregators=1)
+        dc = deployment.datacenters["dc1"]
+        for key in range(5):
+            dc.log_from(key, LogEntry("web_events", b"x"), wrap=True)
+        assert dc.daemons[0].stats.accepted == 3  # keys 0, 2, 4
+        assert dc.daemons[1].stats.accepted == 2  # keys 1, 3

@@ -1,0 +1,221 @@
+"""QoS tests: tiers, deterministic sampling, backpressure round-trip.
+
+Admission-control correctness: the keep/shed decision must be identical
+across processes and hash seeds, backpressure must propagate from an
+aggregator's ack to the daemon's admission gate (and clear again), and
+a full buffer must evict lower tiers before higher ones.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.clock import LogicalClock
+from repro.hdfs.namenode import HDFS
+from repro.obs import names as obs_names
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.scribe.aggregator import ScribeAggregator
+from repro.scribe.daemon import ScribeDaemon
+from repro.scribe.discovery import AggregatorDiscovery
+from repro.scribe.message import CategoryConfig, CategoryRegistry, LogEntry
+from repro.scribe.qos import (
+    OVERLOAD_SAMPLE_RATES,
+    QOS_BULK,
+    QOS_CRITICAL,
+    QOS_STANDARD,
+    QOS_TIERS,
+    admit,
+    drop_rank,
+    sample_rate,
+    validate_tier,
+)
+from repro.scribe.zookeeper import ZooKeeper
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    old = get_default_registry()
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    yield registry
+    set_default_registry(old)
+
+
+class TestTiers:
+    def test_drop_rank_ordering(self):
+        assert (drop_rank(QOS_CRITICAL) < drop_rank(QOS_STANDARD)
+                < drop_rank(QOS_BULK))
+
+    def test_only_bulk_is_sampled(self):
+        assert sample_rate(QOS_CRITICAL) == 1.0
+        assert sample_rate(QOS_STANDARD) == 1.0
+        assert sample_rate(QOS_BULK) < 1.0
+
+    def test_validate_tier(self):
+        for tier in QOS_TIERS:
+            assert validate_tier(tier) == tier
+        with pytest.raises(ValueError):
+            validate_tier("best_effort")
+
+    def test_category_config_rate_override(self):
+        config = CategoryConfig("diag_firehose", qos=QOS_BULK)
+        assert config.sample_rate == OVERLOAD_SAMPLE_RATES[QOS_BULK]
+        tuned = CategoryConfig("diag_firehose", qos=QOS_BULK,
+                               overload_sample_rate=0.5)
+        assert tuned.sample_rate == 0.5
+        with pytest.raises(ValueError):
+            CategoryConfig("diag_firehose", overload_sample_rate=1.5)
+
+
+class TestAdmitDeterminism:
+    def test_rate_extremes(self):
+        assert all(admit("c", "h", s, 1.0) for s in range(32))
+        assert not any(admit("c", "h", s, 0.0) for s in range(32))
+
+    def test_fraction_tracks_rate(self):
+        kept = sum(admit("web_events", "dc1-host-0000", seq, 0.25)
+                   for seq in range(4000))
+        assert 0.20 < kept / 4000 < 0.30
+
+    def test_identity_sensitivity(self):
+        # Different categories/origins make independent decisions for
+        # the same seq -- the sample is not host- or stream-aligned.
+        a = [admit("cat_a", "h1", s, 0.25) for s in range(256)]
+        b = [admit("cat_b", "h1", s, 0.25) for s in range(256)]
+        c = [admit("cat_a", "h2", s, 0.25) for s in range(256)]
+        assert a != b and a != c
+
+    def test_stable_across_hash_seeds(self):
+        """The same decisions on every PYTHONHASHSEED and process."""
+        src = Path(repro.__file__).resolve().parents[1]
+        script = ("from repro.scribe.qos import admit; "
+                  "print([admit('web_events', 'dc1-host-0007', s, 0.25) "
+                  "for s in range(64)])")
+        outputs = []
+        for hash_seed in ("0", "1", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = (str(src) + os.pathsep
+                                 + env.get("PYTHONPATH", ""))
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1] == outputs[2]
+        in_process = [admit("web_events", "dc1-host-0007", s, 0.25)
+                      for s in range(64)]
+        assert outputs[0] == repr(in_process)
+
+
+def _pressure_rig(backpressure_pending=3, backpressure_disk_files=2):
+    zk = ZooKeeper()
+    clock = LogicalClock()
+    staging = HDFS(name="staging-dc1")
+    categories = CategoryRegistry()
+    categories.register(CategoryConfig("bulk_diag", qos=QOS_BULK))
+    categories.register(CategoryConfig("billing_audit", qos=QOS_CRITICAL))
+    aggregator = ScribeAggregator(
+        name="dc1-agg-000", datacenter="dc1", zk=zk, staging=staging,
+        clock=clock, categories=categories,
+        backpressure_pending=backpressure_pending,
+        backpressure_disk_files=backpressure_disk_files)
+    aggregator.start()
+    discovery = AggregatorDiscovery(zk, "dc1", seed=2)
+    daemon = ScribeDaemon("dc1-host-0000", discovery,
+                          {aggregator.name: aggregator}.get,
+                          clock=clock, categories=categories)
+    return clock, staging, aggregator, daemon
+
+
+class TestBackpressureRoundTrip:
+    def test_pending_backlog_fires_and_flush_clears(self, fresh_registry):
+        clock, staging, aggregator, daemon = _pressure_rig(
+            backpressure_pending=3)
+        daemon.log(LogEntry("billing_audit", b"m0"))
+        daemon.log(LogEntry("billing_audit", b"m1"))
+        assert not daemon.backpressured
+        daemon.log(LogEntry("billing_audit", b"m2"))
+        # Third ack crosses the pending threshold: the daemon honors it.
+        assert aggregator.backpressure
+        assert daemon.backpressured
+        assert fresh_registry.total(obs_names.BACKPRESSURE_HONORED) == 1
+
+        aggregator.flush()  # rolls pending to staging; pressure source gone
+        assert not aggregator.backpressure
+        # A later ack clears the daemon-side hold (critical: never shed).
+        daemon.log(LogEntry("billing_audit", b"m3"))
+        assert not daemon.backpressured
+        assert daemon.stats.shed == 0
+
+    def test_disk_buffer_fires_during_staging_outage(self):
+        clock, staging, aggregator, daemon = _pressure_rig(
+            backpressure_pending=10_000, backpressure_disk_files=1)
+        daemon.log(LogEntry("billing_audit", b"m0"))
+        staging.set_available(False)
+        aggregator.flush()  # roll lands on the local-disk outage buffer
+        daemon.log(LogEntry("billing_audit", b"m1"))
+        assert daemon.backpressured
+        staging.set_available(True)
+        aggregator.flush()  # replays the disk buffer to staging
+        daemon.log(LogEntry("billing_audit", b"m2"))
+        assert not daemon.backpressured
+
+    def test_backpressure_sheds_bulk_only(self, fresh_registry):
+        clock, staging, aggregator, daemon = _pressure_rig(
+            backpressure_pending=2)
+        daemon.log(LogEntry("billing_audit", b"m0"))
+        daemon.log(LogEntry("billing_audit", b"m1"))
+        assert daemon.backpressured
+        sent_before = daemon.stats.sent
+        for seq in range(40):
+            daemon.log(LogEntry("bulk_diag", b"d%02d" % seq))
+            daemon.log(LogEntry("billing_audit", b"a%02d" % seq))
+        shed = daemon.stats.shed
+        # Deterministic sampling admits roughly a quarter of bulk.
+        assert 0 < shed < 40
+        assert daemon.stats.accepted == 82
+        # Everything not shed was delivered; critical saw no shedding.
+        assert daemon.stats.sent == sent_before + 80 - shed
+        assert fresh_registry.total(obs_names.QOS_SAMPLED) == shed
+        tiers = {labels["tier"]
+                 for labels, _ in fresh_registry.series(obs_names.QOS_SAMPLED)}
+        assert tiers == {QOS_BULK}
+
+
+class TestDropPriorityEviction:
+    def _daemon(self, max_buffer):
+        categories = CategoryRegistry()
+        categories.register(CategoryConfig("bulk_diag", qos=QOS_BULK))
+        categories.register(CategoryConfig("billing_audit",
+                                           qos=QOS_CRITICAL))
+        discovery = AggregatorDiscovery(ZooKeeper(), "dc1", seed=1)
+        return ScribeDaemon("dc1-host-0000", discovery, lambda name: None,
+                            max_buffer=max_buffer, categories=categories)
+
+    def test_full_buffer_evicts_lowest_tier_first(self):
+        daemon = self._daemon(max_buffer=3)
+        daemon.log(LogEntry("bulk_diag", b"b0"))          # seq 0
+        daemon.log(LogEntry("billing_audit", b"c0"))      # seq 1
+        daemon.log(LogEntry("bulk_diag", b"b1"))          # seq 2
+        daemon.log(LogEntry("billing_audit", b"c1"))      # seq 3: evicts
+        assert daemon.buffered == 3
+        # The oldest *bulk* entry went, not the oldest entry overall.
+        assert daemon.dropped_identities() == {("dc1-host-0000", 0)}
+
+    def test_incoming_bulk_dropped_when_outranked(self):
+        daemon = self._daemon(max_buffer=2)
+        daemon.log(LogEntry("billing_audit", b"c0"))      # seq 0
+        daemon.log(LogEntry("billing_audit", b"c1"))      # seq 1
+        daemon.log(LogEntry("bulk_diag", b"b0"))          # seq 2: itself
+        assert daemon.buffered == 2
+        # A critical backlog is never evicted for a bulk arrival.
+        assert daemon.dropped_identities() == {("dc1-host-0000", 2)}
+        assert daemon.stats.dropped == 1

@@ -210,7 +210,7 @@ class TestDaemonFailover:
     def test_normal_delivery(self):
         dc, __ = self._datacenter()
         for i in range(50):
-            dc.log_from(i, LogEntry("cat", b"m%d" % i))
+            dc.log_from(i, LogEntry("cat", b"m%d" % i), wrap=True)
         dc.flush()
         assert dc.total_written() == 50
 
@@ -262,7 +262,8 @@ class TestDeployment:
                                       num_aggregators=2, seed=7)
         for i in range(200):
             dc = deployment.datacenters["east" if i % 2 else "west"]
-            dc.log_from(i, LogEntry("client_events", b"m%d" % i))
+            dc.log_from(i, LogEntry("client_events", b"m%d" % i),
+                        wrap=True)
         deployment.flush_all()
         assert deployment.total_accepted() == 200
         assert deployment.total_staged() == 200
@@ -277,7 +278,7 @@ class TestDeployment:
                                       durable_aggregators=True, seed=1)
         dc = deployment.datacenters["dc"]
         for i in range(100):
-            dc.log_from(i, LogEntry("client_events", b"m%d" % i))
+            dc.log_from(i, LogEntry("client_events", b"m%d" % i), wrap=True)
         for name in list(dc.aggregators):
             dc.crash_aggregator(name)
             dc.restart_aggregator(name)
@@ -332,7 +333,7 @@ class TestLoadBalancing:
         dc = Datacenter("dc", zk, clock, num_hosts=40, num_aggregators=4,
                         seed=3)
         for i in range(400):
-            dc.log_from(i, LogEntry("cat", b"m%d" % i))
+            dc.log_from(i, LogEntry("cat", b"m%d" % i), wrap=True)
         received = sorted(a.stats.received for a in dc.aggregators.values())
         assert sum(received) == 400
         # no aggregator is starved or hot-spotted
